@@ -1,0 +1,31 @@
+"""Shared helper for the benchmark suite.
+
+Every benchmark runs one experiment module (one table or figure of the paper)
+through pytest-benchmark and prints the resulting rows, so the benchmark log
+doubles as the reproduction of the paper's evaluation tables.
+
+The settings used here are deliberately small (few contexts per point, some
+context-length caps) so the whole suite runs in minutes on a laptop; increase
+them for tighter estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+
+
+@pytest.fixture()
+def run_experiment(benchmark):
+    """Run an experiment function under pytest-benchmark and print its rows."""
+
+    def _run(func: Callable[..., ExperimentResult], **kwargs: Any) -> ExperimentResult:
+        result = benchmark.pedantic(lambda: func(**kwargs), iterations=1, rounds=1)
+        print()
+        print(result.format_table())
+        return result
+
+    return _run

@@ -1,0 +1,10 @@
+"""Appendix E: storage vs recompute cost of cached contexts."""
+
+from repro.experiments import run_appendix_e
+
+
+def test_appendix_e_cost(run_experiment):
+    result = run_experiment(run_appendix_e)
+    assert result.metadata["breakeven_requests_per_month"] < 500
+    assert result.filter(requests_per_month=1_000)[0]["caching_is_cheaper"]
+    assert not result.filter(requests_per_month=10)[0]["caching_is_cheaper"]

@@ -1,0 +1,13 @@
+"""Figure 10: CacheGen composed with H2O and LLMLingua."""
+
+from repro.experiments import run_figure10
+
+
+def test_figure10_context_compression(run_experiment):
+    result = run_experiment(
+        run_figure10, models=("mistral-7b",), num_contexts=1, context_token_cap=6_000
+    )
+    rows = {row["method"]: row for row in result.rows}
+    assert rows["cachegen+h2o"]["kv_size_mb"] < rows["h2o"]["kv_size_mb"] / 2.5
+    assert rows["cachegen+llmlingua"]["kv_size_mb"] < rows["llmlingua"]["kv_size_mb"] / 2.5
+    assert rows["cachegen+h2o"]["quality"] > rows["h2o"]["quality"] - 0.05

@@ -1,0 +1,13 @@
+"""Figure 11: TTFT across a wide range of network bandwidths."""
+
+from repro.experiments import run_figure11
+
+
+def test_figure11_bandwidth_sweep(run_experiment):
+    result = run_experiment(
+        run_figure11, bandwidths_gbps=(0.4, 1.0, 3.0, 10.0, 100.0), num_tokens=9_600
+    )
+    for bandwidth in (0.4, 1.0, 3.0, 10.0):
+        rows = {r["method"]: r for r in result.filter(bandwidth_gbps=bandwidth)}
+        assert rows["cachegen"]["ttft_s"] < rows["quant-8bit"]["ttft_s"]
+        assert rows["cachegen"]["ttft_s"] < rows["text"]["ttft_s"]

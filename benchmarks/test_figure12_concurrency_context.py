@@ -1,0 +1,23 @@
+"""Figure 12: TTFT vs concurrent requests and vs context length."""
+
+from repro.experiments import run_figure12_concurrency, run_figure12_context_length
+
+
+def test_figure12_concurrency(run_experiment):
+    result = run_experiment(
+        run_figure12_concurrency, concurrency_levels=(1, 4, 8), num_tokens=9_600
+    )
+    rows_8 = {r["method"]: r for r in result.filter(concurrent_requests=8)}
+    assert rows_8["cachegen"]["ttft_s"] < rows_8["text"]["ttft_s"]
+
+
+def test_figure12_context_length(run_experiment):
+    result = run_experiment(
+        run_figure12_context_length, context_lengths=(100, 1_000, 6_000, 15_000)
+    )
+    short = {r["method"]: r for r in result.filter(context_tokens=100)}
+    long = {r["method"]: r for r in result.filter(context_tokens=15_000)}
+    # Short contexts: CacheGen reverts to the text path, so it is never slower.
+    assert short["cachegen"]["ttft_s"] <= short["text"]["ttft_s"] + 1e-9
+    # Long contexts: the gain is large.
+    assert long["text"]["ttft_s"] / long["cachegen"]["ttft_s"] > 2.0

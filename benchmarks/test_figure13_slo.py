@@ -1,0 +1,13 @@
+"""Figure 13: SLO violation rate vs quality under random bandwidth traces."""
+
+from repro.experiments import run_figure13
+
+
+def test_figure13_slo(run_experiment):
+    result = run_experiment(
+        run_figure13, slos_s=(0.5, 1.0), num_traces=3, num_contexts=1, context_token_cap=6_000
+    )
+    for slo in (0.5, 1.0):
+        rows = {r["method"]: r for r in result.filter(slo_s=slo)}
+        assert rows["cachegen"]["violation_rate"] <= rows["quantization"]["violation_rate"]
+        assert rows["cachegen"]["violation_rate"] <= rows["cachegen-no-adapt"]["violation_rate"]

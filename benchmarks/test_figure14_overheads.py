@@ -1,0 +1,16 @@
+"""Figure 14: TTFT, FLOPs, offline-delay and storage breakdowns."""
+
+from repro.experiments import run_figure14
+
+
+def test_figure14_overheads(run_experiment):
+    result = run_experiment(run_figure14, num_tokens=9_400)
+    ttft = {r["method"]: r for r in result.filter(panel="ttft_breakdown")}
+    # CacheGen's decode overhead is small relative to its network time and
+    # negligible next to the text baseline's prefill compute.
+    assert ttft["cachegen"]["decode_s"] < ttft["text"]["compute_s"] * 0.25
+    flops = {r["method"]: r for r in result.filter(panel="flops")}
+    assert flops["cachegen"]["decode_tflops"] < 0.1 * flops["text"]["prefill_tflops"]
+    storage = {r["representation"]: r for r in result.filter(panel="storage")}
+    # Storing all CacheGen versions costs no more than the 8-bit quantized cache.
+    assert storage["cachegen-all-levels"]["size_gb"] < storage["quantized-8bit"]["size_gb"] * 1.2

@@ -1,0 +1,11 @@
+"""Figure 15: contribution of each idea in the KV encoder."""
+
+from repro.experiments import run_figure15
+
+
+def test_figure15_ablation(run_experiment):
+    result = run_experiment(run_figure15, num_contexts=1, context_token_cap=6_000)
+    rows = {row["variant"]: row for row in result.rows}
+    assert rows["quant+ac"]["bits_per_element"] < rows["default-quant"]["bits_per_element"]
+    assert rows["cachegen"]["quality"] >= rows["quant+ac"]["quality"]
+    assert rows["cachegen"]["quality"] >= rows["quant+ac+change"]["quality"] - 1e-6

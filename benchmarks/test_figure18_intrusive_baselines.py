@@ -1,0 +1,22 @@
+"""Figure 18: CacheGen vs smaller models, token selection and gisting."""
+
+from repro.experiments import run_figure18
+
+
+def test_figure18_intrusive_baselines(run_experiment):
+    result = run_experiment(run_figure18, num_contexts=1, context_token_cap=4_000)
+    gisting_rows = result.filter(panel="gisting")
+    cachegen_quality = max(
+        r["quality"] for r in gisting_rows if r["method"].startswith("cachegen")
+    )
+    gisting_quality = max(
+        r["quality"] for r in gisting_rows if r["method"] == "gisting"
+    )
+    assert cachegen_quality >= gisting_quality
+    smaller_rows = result.filter(panel="smaller_model")
+    cachegen_ppl = min(
+        r["quality"] for r in smaller_rows if r["method"].startswith("cachegen")
+    )
+    smaller_ppl = min(r["quality"] for r in smaller_rows if r["method"].startswith("smaller"))
+    # Perplexity: lower is better — CacheGen on the big model beats the small model.
+    assert cachegen_ppl < smaller_ppl

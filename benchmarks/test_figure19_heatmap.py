@@ -1,0 +1,16 @@
+"""Figure 19: TTFT-improvement heatmap over bandwidth x GPU availability."""
+
+from repro.experiments import run_figure19
+
+
+def test_figure19_heatmap(run_experiment):
+    result = run_experiment(
+        run_figure19,
+        bandwidths_gbps=(0.5, 3.0, 10.0, 40.0),
+        concurrency_levels=(1, 4, 8),
+        num_tokens=9_600,
+    )
+    assert all(row["improvement"] > 0.9 for row in result.rows)
+    # The sweet spot (moderate bandwidth, scarce GPU) shows large gains.
+    sweet = result.filter(bandwidth_gbps=3.0, concurrent_requests=8)[0]
+    assert sweet["improvement"] > 2.0

@@ -1,0 +1,9 @@
+"""Figure 3: original vs consecutive-delta value distributions (token locality)."""
+
+from repro.experiments import run_figure3
+
+
+def test_figure3_locality(run_experiment):
+    result = run_experiment(run_figure3, num_contexts=2, context_token_cap=4_000)
+    for row in result.rows:
+        assert 2.0 < row["variance_ratio"] < 3.5

@@ -1,0 +1,10 @@
+"""Figure 5: entropy of KV values under different grouping strategies."""
+
+from repro.experiments import run_figure5
+
+
+def test_figure5_grouping_entropy(run_experiment):
+    result = run_experiment(run_figure5, num_contexts=1, context_token_cap=3_000)
+    for row in result.rows:
+        assert row["entropy_channel_layer"] < row["entropy_token"]
+        assert row["entropy_layer"] < row["entropy_token"]

@@ -1,0 +1,18 @@
+"""Figure 7: adaptation decisions under a bandwidth drop (step trace)."""
+
+from repro.experiments import run_figure7
+
+
+def test_figure7_adaptation(run_experiment):
+    result = run_experiment(
+        run_figure7,
+        num_tokens=9_400,
+        slo_s=4.0,
+        initial_gbps=0.5,
+        drop_gbps=0.05,
+        recovered_gbps=0.3,
+    )
+    rows = {row["method"]: row for row in result.rows}
+    # Adaptation keeps the loading delay far below the quantization baseline
+    # when the bandwidth collapses mid-transfer.
+    assert rows["cachegen"]["loading_delay_s"] < rows["quantization"]["loading_delay_s"]

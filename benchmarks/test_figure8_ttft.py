@@ -1,0 +1,23 @@
+"""Figure 8: TTFT and quality across models and datasets at 3 Gbps."""
+
+from repro.experiments import run_figure8
+
+
+def test_figure8_ttft(run_experiment):
+    result = run_experiment(
+        run_figure8,
+        pairs=(
+            ("mistral-7b", "longchat"),
+            ("llama-34b", "longchat"),
+            ("llama-70b", "triviaqa"),
+            ("llama-70b", "wikitext"),
+        ),
+        num_contexts=1,
+        quant_bits=(8,),
+        context_token_cap=8_000,
+    )
+    for model, dataset in {(r["model"], r["dataset"]) for r in result.rows}:
+        rows = {r["method"]: r for r in result.filter(model=model, dataset=dataset)}
+        assert rows["cachegen"]["ttft_s"] < rows["quant-8bit"]["ttft_s"]
+        assert rows["cachegen"]["ttft_s"] < rows["text"]["ttft_s"]
+        assert rows["cachegen"]["relative_quality"] > 0.95

@@ -1,0 +1,10 @@
+"""Table 1: KV cache size and accuracy of CacheGen vs baselines (Mistral-7B, LongChat)."""
+
+from repro.experiments import run_table1
+
+
+def test_table1_size_accuracy(run_experiment):
+    result = run_experiment(run_table1, num_contexts=2, context_token_cap=6_000)
+    rows = {row["technique"]: row for row in result.rows}
+    assert rows["quant-8bit"]["kv_size_mb"] / rows["cachegen"]["kv_size_mb"] > 2.5
+    assert rows["cachegen"]["accuracy"] > 0.95

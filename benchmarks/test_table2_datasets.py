@@ -1,0 +1,13 @@
+"""Table 2: dataset sizes and context length statistics."""
+
+from repro.experiments import run_table2
+
+
+def test_table2_datasets(run_experiment):
+    result = run_experiment(run_table2)
+    assert {row["dataset"] for row in result.rows} == {
+        "longchat",
+        "triviaqa",
+        "narrativeqa",
+        "wikitext",
+    }

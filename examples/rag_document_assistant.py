@@ -1,0 +1,57 @@
+"""RAG-style document assistant: reuse one document's KV cache across queries.
+
+This mirrors the paper's motivating scenario (§2.2): a long financial report
+is ingested once, its encoded KV cache lives on a storage server, and several
+different questions about the same document arrive over time.  Every query
+after the first skips the prefill and only pays the (compressed) KV transfer.
+
+Run with ``python examples/rag_document_assistant.py``.
+"""
+
+from __future__ import annotations
+
+from repro import ContextLoadingEngine, ConstantTrace, NetworkLink, gbps
+
+
+QUESTIONS = [
+    "Write a short summary based on the company's earning report last quarter.",
+    "What were the company's top sources of revenue in the last quarter?",
+    "Did the report mention any regulatory risks?",
+]
+
+
+def main() -> None:
+    link = NetworkLink(ConstantTrace(gbps(3.0)))
+    engine = ContextLoadingEngine("mistral-7b", link=link)
+
+    # Ingest the document once: prefill, encode at every level, store.
+    report = engine.ingest("acme-earnings-q4", num_tokens=9_000)
+    print(
+        f"Ingested {report.num_tokens}-token report into {report.num_chunks} chunks; "
+        f"stored {report.total_stored_bytes / 1e6:.1f} MB across "
+        f"{len(report.stored_bytes_per_level)} encoding levels "
+        f"(encode took {report.encode_delay_s:.2f}s of wall-clock time)."
+    )
+
+    # Answer several questions against the same cached context.
+    for question in QUESTIONS:
+        response = engine.query("acme-earnings-q4", question, task="qa_f1")
+        print(
+            f"\nQ: {question}\n"
+            f"   TTFT {response.ttft_s:.2f}s "
+            f"(network {response.ttft.network_s:.2f}s, decode {response.ttft.decode_s:.2f}s, "
+            f"compute {response.ttft.compute_s:.2f}s), "
+            f"chunks sent as {sorted(set(response.chunk_configs))}, "
+            f"relative quality {response.quality.relative_quality:.3f}"
+        )
+
+    # Contrast with a cold document that has to take the text path.
+    cold = engine.query("fresh-lawsuit-filing", QUESTIONS[2], num_tokens=9_000, task="qa_f1")
+    print(
+        f"\nCold context (no cached KV): TTFT {cold.ttft_s:.2f}s via the text path — "
+        f"{cold.ttft_s / max(1e-9, response.ttft_s):.1f}x slower than the cached queries."
+    )
+
+
+if __name__ == "__main__":
+    main()

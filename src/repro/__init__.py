@@ -1,0 +1,49 @@
+"""repro — a from-scratch reproduction of CacheGen (SIGCOMM 2024).
+
+CacheGen is a fast context-loading module for LLM serving: it encodes the KV
+cache of a reusable long context into compact bitstreams (change-based
+encoding, layer-wise quantization, arithmetic coding with channel/layer
+probability models) and streams those bitstreams with bandwidth adaptation so
+that the time-to-first-token stays within an SLO.
+
+Public entry points
+-------------------
+* :class:`repro.serving.ContextLoadingEngine` — end-to-end engine: ingest a
+  context once, then answer queries with CacheGen streaming underneath.
+* :class:`repro.core.CacheGenEncoder` / :class:`repro.core.CacheGenDecoder` —
+  the codec itself.
+* :class:`repro.streaming.KVStreamer` — SLO-aware streaming of encoded chunks.
+* :mod:`repro.baselines` — every method the paper compares against.
+* :mod:`repro.experiments` — one module per table/figure of the evaluation.
+"""
+
+from .core import CacheGenConfig, CacheGenDecoder, CacheGenEncoder, EncodingLevel, KVCache
+from .llm import ComputeModel, ModelConfig, QualityModel, SyntheticLLM, get_model_config
+from .network import ConstantTrace, NetworkLink, RandomTrace, StepTrace, gbps
+from .serving import ContextLoadingEngine
+from .streaming import KVStreamer, SLOAwareAdapter, prepare_chunks
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheGenConfig",
+    "CacheGenDecoder",
+    "CacheGenEncoder",
+    "ComputeModel",
+    "ConstantTrace",
+    "ContextLoadingEngine",
+    "EncodingLevel",
+    "KVCache",
+    "KVStreamer",
+    "ModelConfig",
+    "NetworkLink",
+    "QualityModel",
+    "RandomTrace",
+    "SLOAwareAdapter",
+    "StepTrace",
+    "SyntheticLLM",
+    "__version__",
+    "gbps",
+    "get_model_config",
+    "prepare_chunks",
+]

@@ -1,0 +1,19 @@
+"""Analyses of KV-cache properties (§5.1 insights) and codec ablations."""
+
+from .ablation import ABLATION_VARIANTS, AblationPoint, codec_ablation
+from .insights import (
+    ValueDistribution,
+    delta_value_distribution,
+    grouping_entropy_study,
+    layer_sensitivity_study,
+)
+
+__all__ = [
+    "ABLATION_VARIANTS",
+    "AblationPoint",
+    "ValueDistribution",
+    "codec_ablation",
+    "delta_value_distribution",
+    "grouping_entropy_study",
+    "layer_sensitivity_study",
+]

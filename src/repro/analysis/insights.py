@@ -1,0 +1,125 @@
+"""Reproductions of the §5.1 empirical insights (Figures 3, 4 and 5).
+
+These analyses run on the synthetic LLM substrate and verify that the three
+distributional properties CacheGen's encoder is designed around hold for the
+KV caches this reproduction generates:
+
+* Figure 3 — deltas between consecutive tokens are far more concentrated than
+  the original values (token-wise locality).
+* Figure 4 — applying the same data loss to shallow layers hurts accuracy far
+  more than applying it to deep layers (layer-wise sensitivity).
+* Figure 5 — grouping values by channel or layer reduces entropy much more
+  than grouping by token position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.delta import consecutive_delta_variance_ratio
+from ..core.kv_cache import KVCache
+from ..core.quantization import layer_bin_sizes
+from ..llm.quality import QualityModel
+from ..llm.synthetic_model import SyntheticLLM
+from ..metrics.entropy import grouping_entropy_comparison
+
+__all__ = [
+    "ValueDistribution",
+    "delta_value_distribution",
+    "layer_sensitivity_study",
+    "grouping_entropy_study",
+]
+
+
+@dataclass(frozen=True)
+class ValueDistribution:
+    """CDF data of original vs delta absolute values (Figure 3)."""
+
+    original_abs: np.ndarray
+    delta_abs: np.ndarray
+    variance_ratio: float
+
+    def cdf(self, which: str, points: Sequence[float]) -> np.ndarray:
+        """Empirical CDF of the chosen value set at the given points."""
+        values = self.original_abs if which == "original" else self.delta_abs
+        sorted_values = np.sort(values)
+        return np.searchsorted(sorted_values, np.asarray(points)) / len(sorted_values)
+
+
+def delta_value_distribution(
+    kv: KVCache, layer: int | None = None, max_samples: int = 200_000
+) -> ValueDistribution:
+    """Original-vs-delta absolute value distributions for one KV cache.
+
+    Mirrors Figure 3's methodology: a single layer of the K tensor is used
+    (values in different layers have different ranges), and deltas are taken
+    between consecutive tokens.
+    """
+    layer_index = kv.num_layers // 2 if layer is None else layer
+    if not 0 <= layer_index < kv.num_layers:
+        raise IndexError("layer index out of range")
+    tensor = kv.k[layer_index]  # (tokens, channels)
+    deltas = np.diff(tensor, axis=0)
+
+    original_abs = np.abs(tensor).ravel()
+    delta_abs = np.abs(deltas).ravel()
+    rng = np.random.default_rng(0)
+    if original_abs.size > max_samples:
+        original_abs = rng.choice(original_abs, size=max_samples, replace=False)
+    if delta_abs.size > max_samples:
+        delta_abs = rng.choice(delta_abs, size=max_samples, replace=False)
+    ratio = consecutive_delta_variance_ratio(kv.k)
+    return ValueDistribution(
+        original_abs=np.sort(original_abs), delta_abs=np.sort(delta_abs), variance_ratio=ratio
+    )
+
+
+def layer_sensitivity_study(
+    llm: SyntheticLLM,
+    kv: KVCache,
+    num_groups: int = 6,
+    loss_bin: float = 3.0,
+    task: str = "qa_accuracy",
+) -> list[dict[str, float]]:
+    """Accuracy when a rounding loss is applied to one layer group at a time.
+
+    Reproduces Figure 4: the same data loss (coarse rounding, ``loss_bin``
+    standard deviations wide) is applied to each group of layers in turn and
+    the resulting response quality is recorded.
+    """
+    if num_groups <= 0:
+        raise ValueError("num_groups must be positive")
+    quality_model = llm.quality_model
+    layers = kv.num_layers
+    group_edges = np.linspace(0, layers, num_groups + 1, dtype=int)
+    results = []
+    for group_index in range(num_groups):
+        start, stop = group_edges[group_index], group_edges[group_index + 1]
+        if start == stop:
+            continue
+        lossy = kv.copy()
+        for tensor in (lossy.k, lossy.v):
+            segment = tensor[start:stop]
+            std = segment.std(axis=(1, 2), keepdims=True)
+            bin_width = loss_bin * np.where(std > 1e-8, std, 1.0)
+            tensor[start:stop] = np.rint(segment / bin_width) * bin_width
+        distortion = kv.normalized_distortion_per_layer(lossy)
+        quality = quality_model.score(task=task, layer_distortion=distortion)
+        results.append(
+            {
+                "layer_group": group_index,
+                "layer_start": int(start),
+                "layer_end": int(stop - 1),
+                "quality": quality.value,
+                "relative_quality": quality.relative_quality,
+            }
+        )
+    return results
+
+
+def grouping_entropy_study(kv: KVCache, quantization_bin: float = 0.5) -> Mapping[str, float]:
+    """Entropy (bits/element) under each grouping strategy (Figure 5)."""
+    return grouping_entropy_comparison(kv.k, quantization_bin=quantization_bin)

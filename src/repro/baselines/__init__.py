@@ -1,0 +1,26 @@
+"""Context-loading methods: CacheGen and every baseline the paper compares."""
+
+from .base import ContextLoadingMethod, LoadRequest, MethodResult
+from .cachegen import CacheGenMethod
+from .composition import CacheGenOnCompressionBaseline
+from .gisting import GistingBaseline
+from .h2o import H2OBaseline, ScissorhandsBaseline
+from .llmlingua import LLMLinguaBaseline
+from .smaller_model import SmallerModelBaseline
+from .text_context import TextContextBaseline
+from .uniform_quant import UniformQuantizationBaseline
+
+__all__ = [
+    "CacheGenMethod",
+    "CacheGenOnCompressionBaseline",
+    "ContextLoadingMethod",
+    "GistingBaseline",
+    "H2OBaseline",
+    "LLMLinguaBaseline",
+    "LoadRequest",
+    "MethodResult",
+    "ScissorhandsBaseline",
+    "SmallerModelBaseline",
+    "TextContextBaseline",
+    "UniformQuantizationBaseline",
+]

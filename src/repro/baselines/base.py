@@ -1,0 +1,128 @@
+"""Common interface of the context-loading methods the paper compares.
+
+Every method — CacheGen itself, the quantization baseline, the text-context
+baseline, and the context-compression baselines (H2O, LLMLingua,
+Scissorhands, Gisting, smaller models) — answers the same question: *given a
+reusable context, what does it cost to make the LLM ready to answer a new
+query about it?*  The cost has two halves the paper measures (§7.1):
+
+* the bytes that must cross the network (the KV cache size / bandwidth), and
+* the time-to-first-token, i.e. loading delay plus the prefill of the query.
+
+:class:`ContextLoadingMethod` is the abstract interface; :class:`LoadRequest`
+bundles everything a method may need; :class:`MethodResult` is the uniform
+result consumed by the experiment harness.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.kv_cache import KVCache
+from ..datasets.base import ContextRecord
+from ..llm.compute_model import ComputeModel
+from ..llm.quality import GenerationQuality, QualityModel
+from ..llm.synthetic_model import SyntheticLLM
+from ..metrics.system import TTFTBreakdown
+from ..network.link import NetworkLink
+
+__all__ = ["LoadRequest", "MethodResult", "ContextLoadingMethod"]
+
+
+@dataclass
+class LoadRequest:
+    """One context-loading request to be evaluated by a method.
+
+    Attributes
+    ----------
+    record:
+        The dataset record (context id, length, task, prompt length).
+    llm:
+        The serving model's synthetic substrate.
+    reference_kv:
+        The lossless KV cache of the context (the output of ``calculate_kv``),
+        used both as the decode reference and to quantify quality loss.
+    link:
+        Network link between the storage server and the GPU server.
+    compute_model:
+        GPU latency model.
+    quality_model:
+        Quality surrogate configured with the dataset's base quality.
+    gpu_share:
+        Fraction of the GPU available to this request (1/n with n concurrent
+        requests).
+    concurrency:
+        Number of concurrent requests sharing the network link.
+    slo_s:
+        Optional TTFT SLO (used by adaptive streaming).
+    """
+
+    record: ContextRecord
+    llm: SyntheticLLM
+    reference_kv: KVCache
+    link: NetworkLink
+    compute_model: ComputeModel
+    quality_model: QualityModel
+    gpu_share: float = 1.0
+    concurrency: int = 1
+    slo_s: float | None = None
+
+    @property
+    def num_tokens(self) -> int:
+        return self.record.num_tokens
+
+    @property
+    def task(self) -> str:
+        return self.record.task
+
+
+@dataclass
+class MethodResult:
+    """Uniform result of evaluating a context-loading method on one request."""
+
+    method: str
+    transmitted_bytes: float
+    breakdown: TTFTBreakdown
+    quality: GenerationQuality
+    extras: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def ttft_s(self) -> float:
+        return self.breakdown.total_s
+
+    @property
+    def kv_size_bytes(self) -> float:
+        """Size of the (compressed) KV representation that was transmitted."""
+        return self.transmitted_bytes
+
+
+class ContextLoadingMethod(abc.ABC):
+    """Abstract base class of all context-loading methods."""
+
+    #: Human-readable method name used in experiment tables.
+    name: str = "method"
+
+    @abc.abstractmethod
+    def evaluate(self, request: LoadRequest) -> MethodResult:
+        """Evaluate the method on one request."""
+
+    # ------------------------------------------------------------------ helpers
+    @staticmethod
+    def prompt_prefill_delay(request: LoadRequest) -> float:
+        """Prefill delay of the user's new question (common to every method)."""
+        return request.compute_model.prefill_delay(request.record.prompt_tokens, request.gpu_share)
+
+    @staticmethod
+    def lossless_quality(request: LoadRequest) -> GenerationQuality:
+        """Quality achieved with an exact KV cache."""
+        import numpy as np
+
+        return request.quality_model.score(
+            task=request.task,
+            layer_distortion=np.zeros(request.reference_kv.num_layers),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,79 @@
+"""CacheGen composed with context-compression baselines (Figure 10, Table 1).
+
+H2O and LLMLingua prune tokens but keep the surviving KV cache as
+floating-point tensors, so CacheGen can encode what remains into bitstreams
+and shrink it a further 3-4x.  This module implements that composition: the
+inner method selects the surviving tokens, then the CacheGen encoder encodes
+the surviving KV cache at its default level.
+"""
+
+from __future__ import annotations
+
+from ..core.decoder import CacheGenDecoder
+from ..core.encoder import CacheGenEncoder
+from ..metrics.system import TTFTBreakdown
+from .base import ContextLoadingMethod, LoadRequest, MethodResult
+from .h2o import H2OBaseline
+from .llmlingua import LLMLinguaBaseline
+
+__all__ = ["CacheGenOnCompressionBaseline"]
+
+
+class CacheGenOnCompressionBaseline(ContextLoadingMethod):
+    """Apply CacheGen's encoder on top of a token-dropping baseline.
+
+    Parameters
+    ----------
+    inner:
+        The context-compression baseline (H2O or LLMLingua) whose surviving
+        tokens are encoded.
+    encoder:
+        Fitted CacheGen encoder for the serving model.
+    level:
+        Encoding level used for the surviving KV cache.
+    """
+
+    def __init__(
+        self,
+        inner: H2OBaseline | LLMLinguaBaseline,
+        encoder: CacheGenEncoder,
+        level: str | None = None,
+    ) -> None:
+        self.inner = inner
+        self.encoder = encoder
+        self.decoder = CacheGenDecoder(encoder)
+        self.level = level or encoder.config.default_level.name
+        self.name = f"cachegen+{inner.name}"
+
+    def evaluate(self, request: LoadRequest) -> MethodResult:
+        kept, _, selection, _ = self.inner.compressed_cache(request)
+        encoded = self.encoder.encode(kept, self.level)
+        decoded = self.decoder.decode(encoded)
+
+        num_bytes = encoded.compressed_bytes
+        transfer = request.link.transfer(num_bytes * request.concurrency, 0.0)
+        decode_delay = request.compute_model.decode_delay(kept.num_tokens, request.gpu_share)
+
+        distortion = kept.normalized_distortion_per_layer(decoded)
+        quality = request.quality_model.score(
+            task=request.task,
+            layer_distortion=distortion,
+            token_keep_fraction=selection.keep_fraction,
+            important_token_coverage=selection.attention_coverage,
+        )
+        breakdown = TTFTBreakdown(
+            network_s=transfer.duration,
+            decode_s=decode_delay,
+            compute_s=self.prompt_prefill_delay(request),
+        )
+        return MethodResult(
+            method=self.name,
+            transmitted_bytes=num_bytes,
+            breakdown=breakdown,
+            quality=quality,
+            extras={
+                "kept_tokens": selection.num_kept,
+                "bits_per_element": encoded.bits_per_element,
+                "inner_method": self.inner.name,
+            },
+        )

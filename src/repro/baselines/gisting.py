@@ -1,0 +1,70 @@
+"""Gisting: compressing contexts into a few learned "gist" tokens (Figure 18c).
+
+Gisting retrains the LLM's attention so that an arbitrarily long context can
+be condensed into a handful of gist tokens whose KV cache stands in for the
+whole context.  The transmitted KV cache is therefore tiny, but quality drops
+as the compression ratio grows, and the method requires model retraining
+(unlike CacheGen).  The public pre-trained gisting model only accepts up to
+512 tokens, which is why the paper evaluates it on a short-context QA dataset
+(PIQA); the same applies here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics.system import TTFTBreakdown
+from .base import ContextLoadingMethod, LoadRequest, MethodResult
+
+__all__ = ["GistingBaseline"]
+
+
+class GistingBaseline(ContextLoadingMethod):
+    """Context condensed into ``num_tokens / compression_ratio`` gist tokens.
+
+    Parameters
+    ----------
+    compression_ratio:
+        How many context tokens are folded into one gist token.
+    retrain_quality_factor:
+        Multiplicative quality penalty for running the retrained (gist)
+        attention instead of the original model.
+    """
+
+    name = "gisting"
+
+    def __init__(self, compression_ratio: float = 8.0, retrain_quality_factor: float = 0.97) -> None:
+        if compression_ratio < 1.0:
+            raise ValueError("compression_ratio must be >= 1")
+        if not 0.0 < retrain_quality_factor <= 1.0:
+            raise ValueError("retrain_quality_factor must be in (0, 1]")
+        self.compression_ratio = compression_ratio
+        self.retrain_quality_factor = retrain_quality_factor
+
+    def evaluate(self, request: LoadRequest) -> MethodResult:
+        cfg = request.llm.config
+        gist_tokens = max(int(np.ceil(request.num_tokens / self.compression_ratio)), 1)
+        # Gist KV stays in fp16 tensor form.
+        num_bytes = cfg.kv_elements_per_token * gist_tokens * 2.0
+        transfer = request.link.transfer(num_bytes * request.concurrency, 0.0)
+
+        keep_fraction = min(gist_tokens / request.num_tokens, 1.0)
+        coverage = float(min(1.0, (1.0 / self.compression_ratio) ** 0.25))
+        quality = request.quality_model.score(
+            task=request.task,
+            layer_distortion=np.zeros(request.reference_kv.num_layers),
+            token_keep_fraction=keep_fraction,
+            important_token_coverage=coverage * self.retrain_quality_factor,
+        )
+        breakdown = TTFTBreakdown(
+            network_s=transfer.duration,
+            decode_s=0.0,
+            compute_s=self.prompt_prefill_delay(request),
+        )
+        return MethodResult(
+            method=self.name,
+            transmitted_bytes=num_bytes,
+            breakdown=breakdown,
+            quality=quality,
+            extras={"gist_tokens": gist_tokens, "compression_ratio": self.compression_ratio},
+        )

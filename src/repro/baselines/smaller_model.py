@@ -1,0 +1,99 @@
+"""The "smaller model" baseline (Figure 18a).
+
+Instead of compressing the big model's KV cache, one can serve a smaller LLM
+whose prefill is faster and whose KV cache is smaller — at the cost of
+intrinsically worse generation quality.  The baseline quantizes the smaller
+model's KV cache at a configurable bit width, like the uniform baseline.
+"""
+
+from __future__ import annotations
+
+from ..core.quantization import vectorwise_quantize
+from ..core.kv_cache import KVCache
+from ..llm.model_config import LLAMA_3B, ModelConfig
+from ..llm.quality import QualityModel
+from ..llm.synthetic_model import SyntheticLLM
+from ..metrics.system import TTFTBreakdown
+from .base import ContextLoadingMethod, LoadRequest, MethodResult
+
+__all__ = ["SmallerModelBaseline"]
+
+
+class SmallerModelBaseline(ContextLoadingMethod):
+    """Replace the serving LLM with a smaller one and quantize its KV cache.
+
+    Parameters
+    ----------
+    small_model:
+        Configuration of the replacement model (default Llama-3B-class).
+    num_bits:
+        Quantization bit width for the smaller model's KV cache.
+    base_quality:
+        Lossless-cache quality of the *smaller* model on the evaluated task
+        (intrinsically worse than the large model's).
+    """
+
+    def __init__(
+        self,
+        small_model: ModelConfig = LLAMA_3B,
+        num_bits: int = 8,
+        base_quality: float | None = None,
+    ) -> None:
+        if not 2 <= num_bits <= 16:
+            raise ValueError("num_bits must be between 2 and 16")
+        self.small_model = small_model
+        self.num_bits = num_bits
+        self.base_quality = base_quality
+        self.name = f"smaller-model-{num_bits}bit"
+
+    def evaluate(self, request: LoadRequest) -> MethodResult:
+        small_llm = SyntheticLLM(self.small_model)
+        small_kv = small_llm.calculate_kv(request.record.context_id, request.num_tokens)
+
+        q_k = vectorwise_quantize(small_kv.k, self.num_bits)
+        q_v = vectorwise_quantize(small_kv.v, self.num_bits)
+        lossy = KVCache(
+            k=q_k.dequantize(),
+            v=q_v.dequantize(),
+            model_name=small_kv.model_name,
+            full_layers=small_kv.full_layers,
+            full_channels=small_kv.full_channels,
+        )
+        num_bytes = small_kv.full_num_elements * self.num_bits / 8.0
+        transfer = request.link.transfer(num_bytes * request.concurrency, 0.0)
+
+        quality_model = self._small_quality_model(request)
+        distortion = small_kv.normalized_distortion_per_layer(lossy)
+        quality = quality_model.score(task=request.task, layer_distortion=distortion)
+
+        compute = request.compute_model.__class__(self.small_model, request.compute_model.gpu)
+        breakdown = TTFTBreakdown(
+            network_s=transfer.duration,
+            decode_s=0.0,
+            compute_s=compute.prefill_delay(request.record.prompt_tokens, request.gpu_share),
+        )
+        return MethodResult(
+            method=self.name,
+            transmitted_bytes=num_bytes,
+            breakdown=breakdown,
+            quality=quality,
+            extras={"small_model": self.small_model.name, "bits_per_element": self.num_bits},
+        )
+
+    def _small_quality_model(self, request: LoadRequest) -> QualityModel:
+        """Quality model anchored at the smaller model's base quality."""
+        base_values = dict(request.quality_model.base_values)
+        if self.base_quality is not None:
+            base_values[request.task] = self.base_quality
+        else:
+            # The smaller model is intrinsically worse: degrade higher-is-better
+            # metrics and inflate perplexity relative to the big model's base.
+            if request.task == "perplexity":
+                base_values[request.task] = base_values[request.task] * 1.6
+            else:
+                base_values[request.task] = base_values[request.task] * 0.72
+        return QualityModel(
+            num_layers=self.small_model.sim_layers,
+            sensitivity_decay=request.quality_model.sensitivity_decay,
+            base_values=base_values,
+        )

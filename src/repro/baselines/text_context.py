@@ -1,0 +1,51 @@
+"""The "text context" baseline: ship the text, recompute the KV cache.
+
+This is the design that minimises bytes on the wire at the cost of the full
+prefill computation (Figure 2a).  The paper runs it on vLLM with xFormers
+kernels; here the prefill delay comes from the calibrated
+:class:`~repro.llm.compute_model.ComputeModel`.  Because nothing lossy happens
+to the context, generation quality equals the lossless baseline.
+"""
+
+from __future__ import annotations
+
+from ..metrics.system import TTFTBreakdown
+from .base import ContextLoadingMethod, LoadRequest, MethodResult
+
+__all__ = ["TextContextBaseline"]
+
+
+class TextContextBaseline(ContextLoadingMethod):
+    """Fetch the context as text and prefill it on the GPU.
+
+    Parameters
+    ----------
+    bytes_per_token:
+        Average UTF-8 bytes per token of the context text.
+    """
+
+    name = "text"
+
+    def __init__(self, bytes_per_token: float = 4.5) -> None:
+        if bytes_per_token <= 0:
+            raise ValueError("bytes_per_token must be positive")
+        self.bytes_per_token = bytes_per_token
+
+    def evaluate(self, request: LoadRequest) -> MethodResult:
+        text_bytes = request.num_tokens * self.bytes_per_token
+        transfer = request.link.transfer(text_bytes * request.concurrency, 0.0)
+        context_prefill = request.compute_model.prefill_delay(
+            request.num_tokens, request.gpu_share
+        )
+        breakdown = TTFTBreakdown(
+            network_s=transfer.duration,
+            decode_s=0.0,
+            compute_s=context_prefill + self.prompt_prefill_delay(request),
+        )
+        return MethodResult(
+            method=self.name,
+            transmitted_bytes=text_bytes,
+            breakdown=breakdown,
+            quality=self.lossless_quality(request),
+            extras={"prefill_flops": request.compute_model.prefill_flops(request.num_tokens)},
+        )

@@ -1,0 +1,69 @@
+"""The "default quantization" baseline: uniform per-tensor quantization.
+
+The paper's main baseline applies the same quantization level (8, 4 or 3
+bits) to every layer of the KV cache and ships the fixed-width tensors over
+the network.  The tensors keep their shape, so no entropy coding or decoding
+is involved; the receiver only rescales the integers, whose cost is
+negligible.
+"""
+
+from __future__ import annotations
+
+from ..core.kv_cache import KVCache
+from ..core.quantization import vectorwise_quantize
+from ..metrics.system import TTFTBreakdown
+from .base import ContextLoadingMethod, LoadRequest, MethodResult
+
+__all__ = ["UniformQuantizationBaseline"]
+
+
+class UniformQuantizationBaseline(ContextLoadingMethod):
+    """Uniform ``num_bits`` quantization of the whole KV cache.
+
+    Parameters
+    ----------
+    num_bits:
+        Quantization bit width applied to every layer (the paper uses 8, 4
+        and 3).
+    """
+
+    def __init__(self, num_bits: int = 8) -> None:
+        if not 2 <= num_bits <= 16:
+            raise ValueError("num_bits must be between 2 and 16")
+        self.num_bits = num_bits
+        self.name = f"quant-{num_bits}bit"
+
+    # ------------------------------------------------------------------ pieces
+    def quantized_cache(self, reference_kv: KVCache) -> tuple[KVCache, float]:
+        """Quantize/dequantize the cache; return the lossy cache and its bytes."""
+        q_k = vectorwise_quantize(reference_kv.k, self.num_bits)
+        q_v = vectorwise_quantize(reference_kv.v, self.num_bits)
+        lossy = KVCache(
+            k=q_k.dequantize(),
+            v=q_v.dequantize(),
+            model_name=reference_kv.model_name,
+            full_layers=reference_kv.full_layers,
+            full_channels=reference_kv.full_channels,
+        )
+        payload_bytes = reference_kv.full_num_elements * self.num_bits / 8.0
+        # Per-(layer, channel) fp16 scales, extrapolated to the full model.
+        metadata_bytes = 2.0 * 2 * reference_kv.full_layers * reference_kv.full_channels
+        return lossy, payload_bytes + metadata_bytes
+
+    def evaluate(self, request: LoadRequest) -> MethodResult:
+        lossy, num_bytes = self.quantized_cache(request.reference_kv)
+        transfer = request.link.transfer(num_bytes * request.concurrency, 0.0)
+        distortion = request.reference_kv.normalized_distortion_per_layer(lossy)
+        quality = request.quality_model.score(task=request.task, layer_distortion=distortion)
+        breakdown = TTFTBreakdown(
+            network_s=transfer.duration,
+            decode_s=0.0,
+            compute_s=self.prompt_prefill_delay(request),
+        )
+        return MethodResult(
+            method=self.name,
+            transmitted_bytes=num_bytes,
+            breakdown=breakdown,
+            quality=quality,
+            extras={"bits_per_element": self.num_bits},
+        )

@@ -1,0 +1,233 @@
+"""Integer arithmetic coder (Witten-Neal-Cleary style).
+
+CacheGen's bitstreams are produced by an arithmetic coder driven by the
+per-(layer, channel) probability models (§5.2).  The paper accelerates coding
+with CUDA kernels; this reproduction provides a correct pure-Python integer
+implementation used for exact round-trip encoding/decoding, while the
+repo-scale experiments use the cross-entropy size model (see
+``repro.core.entropy_codec``), which the arithmetic coder attains to within a
+few bytes of termination overhead.
+
+The coder is *static*: frequencies come from a pre-computed cumulative table
+(optionally a different table per symbol context), exactly like CacheGen's
+offline-profiled distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ArithmeticEncoder", "ArithmeticDecoder", "encode_symbols", "decode_symbols"]
+
+_PRECISION = 32
+_FULL = (1 << _PRECISION) - 1
+_HALF = 1 << (_PRECISION - 1)
+_QUARTER = 1 << (_PRECISION - 2)
+_THREE_QUARTERS = 3 * _QUARTER
+#: Maximum admissible total frequency so the coding range never underflows.
+MAX_TOTAL_FREQUENCY = _QUARTER
+
+
+class _BitWriter:
+    """Accumulates bits most-significant-first into a byte string."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._current = 0
+        self._filled = 0
+        self.bit_count = 0
+
+    def write(self, bit: int) -> None:
+        self._current = (self._current << 1) | (bit & 1)
+        self._filled += 1
+        self.bit_count += 1
+        if self._filled == 8:
+            self._bytes.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def write_with_pending(self, bit: int, pending: int) -> int:
+        """Write ``bit`` followed by ``pending`` opposite bits; returns 0."""
+        self.write(bit)
+        opposite = 1 - bit
+        for _ in range(pending):
+            self.write(opposite)
+        return 0
+
+    def getvalue(self) -> bytes:
+        if self._filled:
+            self._bytes.append(self._current << (8 - self._filled))
+            self._current = 0
+            self._filled = 0
+        return bytes(self._bytes)
+
+
+class _BitReader:
+    """Reads bits most-significant-first from a byte string (zero-padded)."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def read(self) -> int:
+        byte_index, bit_index = divmod(self._pos, 8)
+        self._pos += 1
+        if byte_index >= len(self._data):
+            return 0
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+
+def _as_cum_table(cum_freq: np.ndarray) -> np.ndarray:
+    cum = np.asarray(cum_freq, dtype=np.int64)
+    if cum.ndim == 1:
+        cum = cum[None, :]
+    if cum.ndim != 2:
+        raise ValueError("cumulative frequency table must be 1-D or 2-D")
+    if np.any(cum[:, 0] != 0):
+        raise ValueError("cumulative frequencies must start at 0")
+    if np.any(np.diff(cum, axis=1) <= 0):
+        raise ValueError("every symbol must have a strictly positive frequency")
+    if np.any(cum[:, -1] > MAX_TOTAL_FREQUENCY):
+        raise ValueError("total frequency exceeds the coder's precision budget")
+    return cum
+
+
+class ArithmeticEncoder:
+    """Static-model arithmetic encoder.
+
+    Parameters
+    ----------
+    cum_freq:
+        Either a single cumulative frequency table of shape ``(alphabet+1,)``
+        or a per-context table of shape ``(num_contexts, alphabet+1)``.
+    """
+
+    def __init__(self, cum_freq: np.ndarray) -> None:
+        self._cum = _as_cum_table(cum_freq)
+
+    def encode(self, symbols: Sequence[int], contexts: Sequence[int] | None = None) -> bytes:
+        """Encode ``symbols`` (alphabet indices) into a byte string.
+
+        ``contexts`` selects the frequency table row per symbol; omit it when
+        the encoder was built with a single table.
+        """
+        cum = self._cum
+        symbols = np.asarray(symbols, dtype=np.int64)
+        if contexts is None:
+            contexts = np.zeros(len(symbols), dtype=np.int64)
+        else:
+            contexts = np.asarray(contexts, dtype=np.int64)
+        if len(contexts) != len(symbols):
+            raise ValueError("contexts must have the same length as symbols")
+        if len(symbols) and (symbols.min() < 0 or symbols.max() >= cum.shape[1] - 1):
+            raise ValueError("symbol out of alphabet range")
+        if len(contexts) and (contexts.min() < 0 or contexts.max() >= cum.shape[0]):
+            raise ValueError("context out of range")
+
+        writer = _BitWriter()
+        low, high, pending = 0, _FULL, 0
+        cum_list = cum  # local alias for speed
+        for sym, ctx in zip(symbols.tolist(), contexts.tolist()):
+            row = cum_list[ctx]
+            total = int(row[-1])
+            span = high - low + 1
+            high = low + (span * int(row[sym + 1])) // total - 1
+            low = low + (span * int(row[sym])) // total
+            while True:
+                if high < _HALF:
+                    pending = writer.write_with_pending(0, pending)
+                elif low >= _HALF:
+                    pending = writer.write_with_pending(1, pending)
+                    low -= _HALF
+                    high -= _HALF
+                elif low >= _QUARTER and high < _THREE_QUARTERS:
+                    pending += 1
+                    low -= _QUARTER
+                    high -= _QUARTER
+                else:
+                    break
+                low <<= 1
+                high = (high << 1) | 1
+        # Termination: disambiguate the final interval.
+        pending += 1
+        if low < _QUARTER:
+            writer.write_with_pending(0, pending)
+        else:
+            writer.write_with_pending(1, pending)
+        return writer.getvalue()
+
+
+class ArithmeticDecoder:
+    """Static-model arithmetic decoder matching :class:`ArithmeticEncoder`."""
+
+    def __init__(self, cum_freq: np.ndarray) -> None:
+        self._cum = _as_cum_table(cum_freq)
+
+    def decode(
+        self,
+        data: bytes,
+        num_symbols: int,
+        contexts: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Decode ``num_symbols`` alphabet indices from ``data``."""
+        cum = self._cum
+        if contexts is None:
+            contexts = np.zeros(num_symbols, dtype=np.int64)
+        else:
+            contexts = np.asarray(contexts, dtype=np.int64)
+        if len(contexts) != num_symbols:
+            raise ValueError("contexts must have length num_symbols")
+
+        reader = _BitReader(data)
+        value = 0
+        for _ in range(_PRECISION):
+            value = (value << 1) | reader.read()
+        low, high = 0, _FULL
+        out = np.empty(num_symbols, dtype=np.int64)
+        for i in range(num_symbols):
+            row = cum[contexts[i]]
+            total = int(row[-1])
+            span = high - low + 1
+            scaled = ((value - low + 1) * total - 1) // span
+            sym = int(np.searchsorted(row, scaled, side="right")) - 1
+            out[i] = sym
+            high = low + (span * int(row[sym + 1])) // total - 1
+            low = low + (span * int(row[sym])) // total
+            while True:
+                if high < _HALF:
+                    pass
+                elif low >= _HALF:
+                    value -= _HALF
+                    low -= _HALF
+                    high -= _HALF
+                elif low >= _QUARTER and high < _THREE_QUARTERS:
+                    value -= _QUARTER
+                    low -= _QUARTER
+                    high -= _QUARTER
+                else:
+                    break
+                low <<= 1
+                high = (high << 1) | 1
+                value = (value << 1) | reader.read()
+        return out
+
+
+def encode_symbols(
+    symbols: Sequence[int],
+    cum_freq: np.ndarray,
+    contexts: Sequence[int] | None = None,
+) -> bytes:
+    """Convenience wrapper around :class:`ArithmeticEncoder`."""
+    return ArithmeticEncoder(cum_freq).encode(symbols, contexts)
+
+
+def decode_symbols(
+    data: bytes,
+    num_symbols: int,
+    cum_freq: np.ndarray,
+    contexts: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Convenience wrapper around :class:`ArithmeticDecoder`."""
+    return ArithmeticDecoder(cum_freq).decode(data, num_symbols, contexts)

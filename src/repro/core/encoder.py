@@ -1,0 +1,298 @@
+"""The CacheGen KV cache encoder.
+
+The encoder implements §5.2 of the paper: change-based (anchor/delta)
+encoding, layer-wise quantization of the delta tensors, 8-bit vectorwise
+quantization of the anchor tokens, and arithmetic coding driven by
+per-(layer, channel) probability distributions profiled offline for the
+serving model.
+
+The encoder is *fit once per model* on a handful of sample KV caches
+(:meth:`CacheGenEncoder.fit`), mirroring the paper's offline profiling, and
+then encodes any KV cache (typically one context chunk at a time) at any of
+the configured encoding levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from .config import CacheGenConfig, EncodingLevel
+from .delta import anchor_positions, compute_deltas
+from .entropy_codec import EntropyCodec, EntropyEncodedPayload
+from .kv_cache import KVCache
+from .probability_model import SymbolProbabilityModel
+from .quantization import QuantizedTensor, bin_quantize, layer_bin_sizes, vectorwise_quantize
+
+__all__ = ["CacheGenEncoder", "EncodedKV", "EncodedTensorStream", "LevelCodecModel"]
+
+
+@dataclass
+class EncodedTensorStream:
+    """Encoded representation of a single K or V tensor.
+
+    Holds everything the decoder needs: the entropy-coded delta payload, the
+    per-(layer, channel) dequantization scales, and (when delta encoding is
+    on) the separately coded anchor payload and scales.
+    """
+
+    delta_payload: EntropyEncodedPayload
+    delta_scale: np.ndarray
+    delta_bins: np.ndarray
+    anchor_payload: EntropyEncodedPayload | None
+    anchor_scale: np.ndarray | None
+    anchor_bits: int | None
+
+    @property
+    def payload_bits(self) -> float:
+        bits = self.delta_payload.bits
+        if self.anchor_payload is not None:
+            bits += self.anchor_payload.bits
+        return bits
+
+    @property
+    def metadata_bytes(self) -> int:
+        """Side-information bytes: fp16 scales for deltas and anchors."""
+        count = self.delta_scale.size
+        if self.anchor_scale is not None:
+            count += self.anchor_scale.size
+        return 2 * count
+
+
+@dataclass
+class EncodedKV:
+    """One KV cache (or chunk) encoded into CacheGen bitstreams."""
+
+    model_name: str
+    level: EncodingLevel
+    num_tokens: int
+    group_size: int
+    k_stream: EncodedTensorStream
+    v_stream: EncodedTensorStream
+    sim_shape: tuple[int, int, int]
+    scale_factor: float
+    full_layers: int
+    full_channels: int
+
+    @property
+    def payload_bits(self) -> float:
+        return self.k_stream.payload_bits + self.v_stream.payload_bits
+
+    @property
+    def sim_metadata_bytes(self) -> int:
+        return self.k_stream.metadata_bytes + self.v_stream.metadata_bytes
+
+    @property
+    def sim_compressed_bytes(self) -> float:
+        """Compressed size of the simulation-scale tensors, in bytes."""
+        return self.payload_bits / 8.0 + self.sim_metadata_bytes
+
+    @property
+    def compressed_bytes(self) -> float:
+        """Compressed size extrapolated to the full model, in bytes."""
+        return self.sim_compressed_bytes * self.scale_factor
+
+    @property
+    def sim_num_elements(self) -> int:
+        layers, tokens, channels = self.sim_shape
+        return 2 * layers * tokens * channels
+
+    @property
+    def bits_per_element(self) -> float:
+        """Average compressed bits per KV element (metadata amortised)."""
+        return self.sim_compressed_bytes * 8.0 / self.sim_num_elements
+
+
+@dataclass
+class LevelCodecModel:
+    """Probability models fitted for one encoding level."""
+
+    level: EncodingLevel
+    delta_model: SymbolProbabilityModel
+    anchor_model: SymbolProbabilityModel | None
+
+
+class CacheGenEncoder:
+    """Encodes KV caches into compact bitstream representations.
+
+    Parameters
+    ----------
+    config:
+        Codec configuration; the default reproduces the paper's settings.
+
+    Usage
+    -----
+    >>> encoder = CacheGenEncoder()
+    >>> encoder.fit([sample_kv_1, sample_kv_2])
+    >>> encoded = encoder.encode(kv_chunk)          # default level
+    >>> encoded_low = encoder.encode(kv_chunk, "low")
+    """
+
+    def __init__(self, config: CacheGenConfig | None = None) -> None:
+        self.config = config or CacheGenConfig()
+        self._models: dict[str, LevelCodecModel] = {}
+
+    # -------------------------------------------------------------------- fit
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._models)
+
+    @property
+    def level_models(self) -> Mapping[str, LevelCodecModel]:
+        return dict(self._models)
+
+    def fit(self, sample_caches: list[KVCache]) -> "CacheGenEncoder":
+        """Profile per-(layer, channel) symbol distributions from sample caches.
+
+        The paper profiles one distribution per channel-layer combination of
+        the delta tensors, plus one for the anchor tensors, per LLM, and then
+        reuses them for every KV cache that model produces.
+        """
+        if not sample_caches:
+            raise ValueError("at least one sample KV cache is required to fit the encoder")
+        cfg = self.config
+        grouping = cfg.probability_grouping
+        for level in cfg.levels:
+            delta_symbols: list[np.ndarray] = []
+            anchor_symbols: list[np.ndarray] = []
+            for kv in sample_caches:
+                for tensor in (kv.k, kv.v):
+                    delta_q, anchor_q = self._quantize_tensor(tensor, level)
+                    delta_symbols.append(delta_q.symbols)
+                    if anchor_q is not None:
+                        anchor_symbols.append(anchor_q.symbols)
+            delta_model = SymbolProbabilityModel.fit(delta_symbols, grouping=grouping)
+            anchor_model = (
+                SymbolProbabilityModel.fit(anchor_symbols, grouping=grouping)
+                if anchor_symbols
+                else None
+            )
+            self._models[level.name] = LevelCodecModel(
+                level=level, delta_model=delta_model, anchor_model=anchor_model
+            )
+        return self
+
+    # ----------------------------------------------------------------- encode
+    def encode(self, kv: KVCache, level: EncodingLevel | str | int | None = None) -> EncodedKV:
+        """Encode a KV cache (or chunk) at the given encoding level."""
+        self._require_fitted()
+        cfg = self.config
+        if level is None:
+            level = cfg.default_level
+        level_obj = cfg.levels[cfg.level_index(level)]
+        models = self._models[level_obj.name]
+
+        streams = []
+        for tensor in (kv.k, kv.v):
+            delta_q, anchor_q = self._quantize_tensor(tensor, level_obj)
+            streams.append(self._encode_stream(delta_q, anchor_q, models, level_obj))
+        k_stream, v_stream = streams
+        return EncodedKV(
+            model_name=kv.model_name,
+            level=level_obj,
+            num_tokens=kv.num_tokens,
+            group_size=cfg.group_size,
+            k_stream=k_stream,
+            v_stream=v_stream,
+            sim_shape=kv.shape,
+            scale_factor=kv.scale_factor,
+            full_layers=kv.full_layers,
+            full_channels=kv.full_channels,
+        )
+
+    def encode_all_levels(self, kv: KVCache) -> dict[str, EncodedKV]:
+        """Encode a KV cache at every configured level (offline preparation)."""
+        return {level.name: self.encode(kv, level) for level in self.config.levels}
+
+    # ------------------------------------------------------------ inner pieces
+    def _quantize_tensor(
+        self, tensor: np.ndarray, level: EncodingLevel
+    ) -> tuple[QuantizedTensor, QuantizedTensor | None]:
+        """Quantize one tensor into (delta symbols, anchor symbols)."""
+        cfg = self.config
+        num_layers = tensor.shape[0]
+        bins = self._effective_bins(num_layers, level)
+
+        if cfg.use_delta:
+            decomposition = compute_deltas(tensor, cfg.group_size)
+            positions = anchor_positions(decomposition.num_tokens, cfg.group_size)
+            mask = np.ones(decomposition.num_tokens, dtype=bool)
+            mask[positions] = False
+            deltas = decomposition.deltas[:, mask, :]
+            delta_q = bin_quantize(deltas, bins)
+            anchor_q = vectorwise_quantize(decomposition.anchors, level.anchor_bits)
+            return delta_q, anchor_q
+        delta_q = bin_quantize(tensor, bins)
+        return delta_q, None
+
+    def _effective_bins(self, num_layers: int, level: EncodingLevel) -> np.ndarray:
+        cfg = self.config
+        if cfg.use_layerwise_quant:
+            return layer_bin_sizes(num_layers, level.delta_bins)
+        mean_bin = float(np.mean(level.delta_bins))
+        return np.full(num_layers, mean_bin)
+
+    def _encode_stream(
+        self,
+        delta_q: QuantizedTensor,
+        anchor_q: QuantizedTensor | None,
+        models: LevelCodecModel,
+        level: EncodingLevel,
+    ) -> EncodedTensorStream:
+        cfg = self.config
+        delta_payload = self._entropy_encode(delta_q, models.delta_model, bits_fallback=None)
+        anchor_payload = None
+        anchor_scale = None
+        anchor_bits = None
+        if anchor_q is not None:
+            anchor_payload = self._entropy_encode(
+                anchor_q, models.anchor_model, bits_fallback=level.anchor_bits
+            )
+            anchor_scale = anchor_q.scale
+            anchor_bits = level.anchor_bits
+        return EncodedTensorStream(
+            delta_payload=delta_payload,
+            delta_scale=delta_q.scale,
+            delta_bins=np.asarray(delta_q.bin_sizes),
+            anchor_payload=anchor_payload,
+            anchor_scale=anchor_scale,
+            anchor_bits=anchor_bits,
+        )
+
+    def _entropy_encode(
+        self,
+        quantized: QuantizedTensor,
+        model: SymbolProbabilityModel | None,
+        bits_fallback: float | None,
+    ) -> EntropyEncodedPayload:
+        """Entropy-code a quantized tensor, honouring the AC ablation switch."""
+        cfg = self.config
+        symbols = quantized.symbols
+        if cfg.use_arithmetic_coding and model is not None:
+            codec = EntropyCodec(model, exact=cfg.exact_entropy_coding)
+            return codec.encode(symbols)
+        # Quantization-only: store fixed-width symbols (no entropy coding).
+        if bits_fallback is None:
+            max_symbol = max(int(np.abs(symbols).max()), 1)
+            bits_fallback = float(np.ceil(np.log2(2 * max_symbol + 1)))
+        return EntropyEncodedPayload(
+            bits=float(bits_fallback) * symbols.size,
+            shape=tuple(symbols.shape),
+            exact=False,
+            symbols=symbols.copy(),
+        )
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError(
+                "CacheGenEncoder is not fitted; call fit() with sample KV caches first"
+            )
+
+    # ----------------------------------------------------------------- helpers
+    def model_for_level(self, level: EncodingLevel | str | int) -> LevelCodecModel:
+        """Return the probability models fitted for a level."""
+        self._require_fitted()
+        level_obj = self.config.levels[self.config.level_index(level)]
+        return self._models[level_obj.name]

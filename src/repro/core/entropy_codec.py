@@ -1,0 +1,117 @@
+"""Entropy-coding backend bridging the probability model and the bitstream.
+
+Two backends are provided (see ``DESIGN.md``):
+
+* **Exact** — drive the integer arithmetic coder with the probability model's
+  cumulative tables and produce/parse real bitstreams.  Used by the tests and
+  by anything that needs actual bytes.
+* **Estimated** — compute the ideal code length (the model cross-entropy) of
+  the symbol stream, which is what the arithmetic coder achieves up to a few
+  bytes of termination overhead.  Used by the repo-scale experiments, where
+  encoding hundreds of millions of symbols through a pure-Python per-symbol
+  loop would be pointless.
+
+Both backends consume the same :class:`~repro.core.probability_model.SymbolProbabilityModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .arithmetic_coder import ArithmeticDecoder, ArithmeticEncoder
+from .probability_model import SYMBOL_OFFSET, SymbolProbabilityModel
+
+__all__ = ["EntropyCodec", "EntropyEncodedPayload"]
+
+
+@dataclass
+class EntropyEncodedPayload:
+    """An entropy-coded symbol tensor.
+
+    Attributes
+    ----------
+    bits:
+        Size of the payload in bits.  For exact encoding this is the length of
+        ``data``; for estimated encoding it is the model cross-entropy.
+    shape:
+        Shape of the symbol tensor, needed to decode.
+    exact:
+        Whether ``data`` holds a real arithmetic-coded bitstream.
+    data:
+        The bitstream (exact mode) or ``None`` (estimated mode).
+    symbols:
+        In estimated mode the symbols are carried through unchanged so the
+        decode path remains lossless; ``None`` in exact mode.
+    """
+
+    bits: float
+    shape: tuple[int, int, int]
+    exact: bool
+    data: bytes | None = None
+    symbols: np.ndarray | None = None
+
+    @property
+    def num_bytes(self) -> float:
+        return self.bits / 8.0
+
+
+class EntropyCodec:
+    """Encode/decode quantized symbol tensors with a probability model.
+
+    Parameters
+    ----------
+    model:
+        The fitted symbol probability model (typically channel/layer grouped).
+    exact:
+        If True, run the real arithmetic coder; otherwise carry symbols and
+        report the ideal code length.
+    """
+
+    def __init__(self, model: SymbolProbabilityModel, exact: bool = False) -> None:
+        self.model = model
+        self.exact = exact
+        self._cum_cache: np.ndarray | None = None
+
+    def _cumulative(self) -> np.ndarray:
+        if self._cum_cache is None:
+            self._cum_cache = self.model.cumulative_counts()
+        return self._cum_cache
+
+    # ----------------------------------------------------------------- encode
+    def encode(self, symbols: np.ndarray) -> EntropyEncodedPayload:
+        """Entropy-code a (layers, tokens, channels) symbol tensor."""
+        symbols = np.asarray(symbols)
+        if symbols.ndim != 3:
+            raise ValueError("symbols must be 3-D (layers, tokens, channels)")
+        shape = tuple(symbols.shape)
+        if self.exact:
+            contexts = self.model.context_ids_for(shape).ravel()
+            alphabet_symbols = symbols.ravel().astype(np.int64) + SYMBOL_OFFSET
+            data = ArithmeticEncoder(self._cumulative()).encode(alphabet_symbols, contexts)
+            return EntropyEncodedPayload(
+                bits=float(len(data) * 8), shape=shape, exact=True, data=data
+            )
+        bits = self.model.cross_entropy_bits(symbols)
+        # Symbols are clipped to +/-255, so int16 carries them losslessly at
+        # half the memory of int32 — relevant when many chunk encodings at
+        # several levels are kept alive by the streamer.
+        return EntropyEncodedPayload(
+            bits=bits, shape=shape, exact=False, symbols=symbols.astype(np.int16)
+        )
+
+    # ----------------------------------------------------------------- decode
+    def decode(self, payload: EntropyEncodedPayload) -> np.ndarray:
+        """Recover the symbol tensor from an encoded payload (lossless)."""
+        if payload.exact:
+            if payload.data is None:
+                raise ValueError("exact payload is missing its bitstream")
+            contexts = self.model.context_ids_for(payload.shape).ravel()
+            decoded = ArithmeticDecoder(self._cumulative()).decode(
+                payload.data, int(np.prod(payload.shape)), contexts
+            )
+            return (decoded - SYMBOL_OFFSET).reshape(payload.shape).astype(np.int32)
+        if payload.symbols is None:
+            raise ValueError("estimated payload is missing its symbols")
+        return payload.symbols.astype(np.int32)

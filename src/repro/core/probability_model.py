@@ -1,0 +1,205 @@
+"""Symbol probability models for entropy coding of quantized KV tensors.
+
+Arithmetic coding needs a probability distribution over symbols.  Insight 3 of
+the paper says that grouping KV values by *channel and layer* yields much
+lower entropy than grouping by token position, so CacheGen profiles a separate
+symbol distribution for every (layer, channel) pair — offline, once per LLM —
+and reuses it for every KV cache that model produces (§5.2, "Arithmetic
+coding").  The ablation in §7.5 reports that this grouping shrinks the
+bitstream by up to 53% versus a single global distribution.
+
+:class:`SymbolProbabilityModel` supports all the grouping strategies the paper
+compares (Figure 5): ``"channel_layer"`` (CacheGen's choice), ``"layer"``,
+``"channel"``, ``"token"`` and ``"global"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from .quantization import SYMBOL_CLIP
+
+__all__ = ["SymbolProbabilityModel", "Grouping", "ALPHABET_SIZE", "SYMBOL_OFFSET"]
+
+Grouping = Literal["channel_layer", "layer", "channel", "token", "global"]
+
+#: Symbols live in [-SYMBOL_CLIP, SYMBOL_CLIP]; the alphabet maps them to
+#: [0, ALPHABET_SIZE) by adding SYMBOL_OFFSET.
+SYMBOL_OFFSET = SYMBOL_CLIP
+ALPHABET_SIZE = 2 * SYMBOL_CLIP + 1
+
+_VALID_GROUPINGS = ("channel_layer", "layer", "channel", "token", "global")
+
+
+def _context_ids(shape: tuple[int, int, int], grouping: Grouping) -> tuple[np.ndarray, int]:
+    """Per-element context id grid for a (layers, tokens, channels) tensor."""
+    layers, tokens, channels = shape
+    if grouping == "channel_layer":
+        grid = (np.arange(layers)[:, None, None] * channels + np.arange(channels)[None, None, :])
+        grid = np.broadcast_to(grid, shape)
+        return grid, layers * channels
+    if grouping == "layer":
+        grid = np.broadcast_to(np.arange(layers)[:, None, None], shape)
+        return grid, layers
+    if grouping == "channel":
+        grid = np.broadcast_to(np.arange(channels)[None, None, :], shape)
+        return grid, channels
+    if grouping == "token":
+        grid = np.broadcast_to(np.arange(tokens)[None, :, None], shape)
+        return grid, tokens
+    if grouping == "global":
+        return np.zeros(shape, dtype=np.int64), 1
+    raise ValueError(f"unknown grouping {grouping!r}; expected one of {_VALID_GROUPINGS}")
+
+
+def _symbol_counts(symbols: np.ndarray, grouping: Grouping) -> tuple[np.ndarray, int]:
+    """Joint (context, symbol) counts for a symbol tensor."""
+    symbols = np.asarray(symbols)
+    if symbols.ndim != 3:
+        raise ValueError("symbols must be 3-D (layers, tokens, channels)")
+    if symbols.min() < -SYMBOL_CLIP or symbols.max() > SYMBOL_CLIP:
+        raise ValueError(f"symbols must lie in [-{SYMBOL_CLIP}, {SYMBOL_CLIP}]")
+    ctx, num_ctx = _context_ids(symbols.shape, grouping)
+    flat = ctx.astype(np.int64).ravel() * ALPHABET_SIZE + (symbols.ravel().astype(np.int64) + SYMBOL_OFFSET)
+    counts = np.bincount(flat, minlength=num_ctx * ALPHABET_SIZE).reshape(num_ctx, ALPHABET_SIZE)
+    return counts.astype(np.float64), num_ctx
+
+
+@dataclass
+class SymbolProbabilityModel:
+    """Per-context categorical distribution over quantized symbols.
+
+    Build one with :meth:`fit` from one or more symbol tensors, then use
+    :meth:`cross_entropy_bits` to measure the ideal (arithmetic-coding) code
+    length of new data, or :meth:`cumulative_counts` to drive the exact
+    arithmetic coder.
+
+    Attributes
+    ----------
+    grouping:
+        Which tensor dimensions define a context.
+    counts:
+        Smoothed (context, symbol) counts, shape ``(num_contexts, ALPHABET_SIZE)``.
+    shape:
+        The (layers, tokens, channels) shape the model was fit on.  Only the
+        dimensions participating in the grouping must match at scoring time.
+    """
+
+    grouping: Grouping
+    counts: np.ndarray
+    shape: tuple[int, int, int]
+    smoothing: float = 0.1
+    _log_probs: np.ndarray | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def fit(
+        cls,
+        symbol_tensors: list[np.ndarray] | np.ndarray,
+        grouping: Grouping = "channel_layer",
+        smoothing: float = 0.1,
+    ) -> "SymbolProbabilityModel":
+        """Fit a probability model from one or more symbol tensors.
+
+        All tensors must share layer/channel dimensions; token counts may vary
+        (token-grouped models require identical token counts).
+        """
+        if isinstance(symbol_tensors, np.ndarray):
+            symbol_tensors = [symbol_tensors]
+        if not symbol_tensors:
+            raise ValueError("at least one symbol tensor is required")
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+
+        total_counts: np.ndarray | None = None
+        shape = tuple(symbol_tensors[0].shape)
+        for tensor in symbol_tensors:
+            counts, _ = _symbol_counts(tensor, grouping)
+            if total_counts is None:
+                total_counts = counts
+            else:
+                if counts.shape != total_counts.shape:
+                    raise ValueError("all symbol tensors must induce the same context set")
+                total_counts = total_counts + counts
+        assert total_counts is not None
+        return cls(
+            grouping=grouping,
+            counts=total_counts + smoothing,
+            shape=shape,  # type: ignore[arg-type]
+            smoothing=smoothing,
+        )
+
+    # ------------------------------------------------------------------ props
+    @property
+    def num_contexts(self) -> int:
+        return self.counts.shape[0]
+
+    def probabilities(self) -> np.ndarray:
+        """Normalized per-context probabilities."""
+        return self.counts / self.counts.sum(axis=1, keepdims=True)
+
+    def log2_probabilities(self) -> np.ndarray:
+        if self._log_probs is None:
+            self._log_probs = np.log2(self.probabilities())
+        return self._log_probs
+
+    # ----------------------------------------------------------------- scoring
+    def cross_entropy_bits(self, symbols: np.ndarray) -> float:
+        """Ideal total code length (bits) of ``symbols`` under this model.
+
+        This is the length an arithmetic coder driven by this model attains up
+        to a few bytes of termination overhead.
+        """
+        data_counts, num_ctx = _symbol_counts(symbols, self.grouping)
+        if num_ctx != self.num_contexts:
+            raise ValueError(
+                f"symbol tensor induces {num_ctx} contexts but model has {self.num_contexts}"
+            )
+        return float(-(data_counts * self.log2_probabilities()).sum())
+
+    def bits_per_element(self, symbols: np.ndarray) -> float:
+        """Average ideal code length per symbol."""
+        symbols = np.asarray(symbols)
+        return self.cross_entropy_bits(symbols) / symbols.size
+
+    def entropy_bits_per_symbol(self) -> float:
+        """Average entropy (bits/symbol) of the fitted distributions.
+
+        Contexts are weighted by their observed mass, matching the Figure 5
+        "bits per element" measurement.
+        """
+        probs = self.probabilities()
+        ctx_mass = self.counts.sum(axis=1)
+        ctx_weights = ctx_mass / ctx_mass.sum()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            per_ctx = -(probs * np.log2(np.where(probs > 0, probs, 1.0))).sum(axis=1)
+        return float((ctx_weights * per_ctx).sum())
+
+    # -------------------------------------------------------- arithmetic coding
+    def cumulative_counts(self, quantize_total: int = 1 << 16) -> np.ndarray:
+        """Integer cumulative frequency tables for the arithmetic coder.
+
+        Returns an array of shape ``(num_contexts, ALPHABET_SIZE + 1)`` where
+        row ``c`` is the cumulative frequency of symbols under context ``c``,
+        scaled so every symbol has frequency >= 1 and the total is at most
+        ``quantize_total``.
+        """
+        if quantize_total < 2 * ALPHABET_SIZE:
+            raise ValueError("quantize_total too small for the alphabet")
+        probs = self.probabilities()
+        freqs = np.maximum(np.rint(probs * (quantize_total - ALPHABET_SIZE)).astype(np.int64), 0) + 1
+        cum = np.zeros((self.num_contexts, ALPHABET_SIZE + 1), dtype=np.int64)
+        np.cumsum(freqs, axis=1, out=cum[:, 1:])
+        return cum
+
+    def context_ids_for(self, shape: tuple[int, int, int]) -> np.ndarray:
+        """Per-element context ids for a tensor of ``shape`` under this grouping."""
+        ctx, num_ctx = _context_ids(shape, self.grouping)
+        if num_ctx != self.num_contexts:
+            raise ValueError(
+                f"shape {shape} induces {num_ctx} contexts but model has {self.num_contexts}"
+            )
+        return ctx

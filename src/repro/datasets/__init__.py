@@ -1,0 +1,38 @@
+"""Synthetic equivalents of the paper's four evaluation datasets (Table 2)."""
+
+from .base import MAX_CONTEXT_TOKENS, MIN_CONTEXT_TOKENS, ContextRecord, SyntheticDataset
+from .longchat import LongChatDataset
+from .narrativeqa import NarrativeQADataset
+from .triviaqa import TriviaQADataset
+from .wikitext import WikiTextDataset
+
+#: All four evaluation datasets keyed by name.
+ALL_DATASETS = {
+    "longchat": LongChatDataset,
+    "triviaqa": TriviaQADataset,
+    "narrativeqa": NarrativeQADataset,
+    "wikitext": WikiTextDataset,
+}
+
+
+def get_dataset(name: str, seed: int = 0) -> SyntheticDataset:
+    """Instantiate a dataset by name."""
+    try:
+        return ALL_DATASETS[name](seed=seed)
+    except KeyError:
+        known = ", ".join(sorted(ALL_DATASETS))
+        raise KeyError(f"unknown dataset {name!r}; known datasets: {known}") from None
+
+
+__all__ = [
+    "ALL_DATASETS",
+    "ContextRecord",
+    "LongChatDataset",
+    "MAX_CONTEXT_TOKENS",
+    "MIN_CONTEXT_TOKENS",
+    "NarrativeQADataset",
+    "SyntheticDataset",
+    "TriviaQADataset",
+    "WikiTextDataset",
+    "get_dataset",
+]

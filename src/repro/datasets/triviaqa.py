@@ -1,0 +1,33 @@
+"""TriviaQA (LongBench): single-document reading comprehension (F1 task).
+
+The model answers a trivia question from one supplied document.  Context
+lengths vary widely (Table 2: 200 contexts, median 9.3K, std 4497, P95 15K);
+the metric is token-level F1 against the ground-truth answer.
+"""
+
+from __future__ import annotations
+
+from .base import SyntheticDataset
+
+__all__ = ["TriviaQADataset"]
+
+
+class TriviaQADataset(SyntheticDataset):
+    """Synthetic equivalent of the LongBench TriviaQA split."""
+
+    name = "triviaqa"
+    task = "qa_f1"
+    size = 200
+    length_median = 9_300
+    length_std = 4_497
+    question_template = "Answer the trivia question using the provided document."
+    #: Lossless-cache F1 per model (Figure 8e shows ~90+% F1 for Llama-70B).
+    base_quality_by_model = {
+        "mistral-7b": 0.86,
+        "llama-7b": 0.78,
+        "llama-13b": 0.82,
+        "llama-34b": 0.90,
+        "llama-70b": 0.93,
+        "llama-3b": 0.62,
+    }
+    default_base_quality = 0.85

@@ -1,0 +1,33 @@
+"""WikiText: next-token prediction over Wikipedia articles (perplexity task).
+
+The model predicts the next token given the page's preceding text (Table 2:
+62 contexts, median 5.9K, std 4548, P95 14.8K); the metric is perplexity
+(lower is better).
+"""
+
+from __future__ import annotations
+
+from .base import SyntheticDataset
+
+__all__ = ["WikiTextDataset"]
+
+
+class WikiTextDataset(SyntheticDataset):
+    """Synthetic equivalent of the WikiText language-modelling dataset."""
+
+    name = "wikitext"
+    task = "perplexity"
+    size = 62
+    length_median = 5_900
+    length_std = 4_548
+    question_template = "Continue the article."
+    #: Lossless-cache perplexity per model (lower is better).
+    base_quality_by_model = {
+        "mistral-7b": 6.2,
+        "llama-7b": 7.3,
+        "llama-13b": 6.8,
+        "llama-34b": 5.8,
+        "llama-70b": 5.2,
+        "llama-3b": 9.5,
+    }
+    default_base_quality = 6.5

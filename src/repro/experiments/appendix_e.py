@@ -1,0 +1,53 @@
+"""Appendix E: the economics of storing KV caches vs recomputing them.
+
+For an 8.5K-token Llama-13B context, storing CacheGen's encoded versions costs
+cents per month while every recomputation costs a fraction of a cent — so past
+~150 reuses per month the cache also saves money, not just latency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..llm.model_config import get_model_config
+from ..storage.cost import CostModel
+from .common import ExperimentResult
+
+__all__ = ["run_appendix_e"]
+
+
+def run_appendix_e(
+    model: str = "llama-13b",
+    num_tokens: int = 8_500,
+    bits_per_element: float = 2.4,
+    num_versions: int = 4,
+    reuse_rates_per_month: Sequence[int] = (10, 50, 150, 500, 1_000),
+) -> ExperimentResult:
+    """Reproduce the Appendix E storage-vs-recompute cost analysis."""
+    cost_model = CostModel()
+    analysis = cost_model.analyse(
+        model=get_model_config(model),
+        num_tokens=num_tokens,
+        compressed_bits_per_element=bits_per_element,
+        num_stored_versions=num_versions,
+    )
+    result = ExperimentResult(
+        name="appendix-e",
+        description="Storage vs recompute cost of a cached context",
+        metadata={
+            "model": model,
+            "num_tokens": num_tokens,
+            "storage_usd_per_month": analysis.storage_usd_per_month,
+            "recompute_usd_per_request": analysis.recompute_usd_per_request,
+            "breakeven_requests_per_month": analysis.breakeven_requests_per_month,
+        },
+    )
+    for reuse_rate in reuse_rates_per_month:
+        monthly_recompute = analysis.recompute_usd_per_request * reuse_rate
+        result.add_row(
+            requests_per_month=reuse_rate,
+            storage_usd_per_month=analysis.storage_usd_per_month,
+            recompute_usd_per_month=monthly_recompute,
+            caching_is_cheaper=analysis.storing_is_cheaper(reuse_rate),
+        )
+    return result

@@ -1,0 +1,251 @@
+"""Shared infrastructure for the evaluation-reproduction experiments.
+
+Every table/figure module builds on the same pieces: a model + dataset
+workbench that generates reference KV caches, a fitted CacheGen encoder, the
+standard set of methods to compare, and a uniform result container that the
+benchmark harness can print as the rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..baselines import (
+    CacheGenMethod,
+    ContextLoadingMethod,
+    LoadRequest,
+    MethodResult,
+    TextContextBaseline,
+    UniformQuantizationBaseline,
+)
+from ..core.config import CacheGenConfig
+from ..core.encoder import CacheGenEncoder
+from ..core.kv_cache import KVCache
+from ..datasets import get_dataset
+from ..datasets.base import ContextRecord, SyntheticDataset
+from ..llm.compute_model import A40, ComputeModel, GPUSpec
+from ..llm.model_config import ModelConfig, get_model_config
+from ..llm.quality import QualityModel
+from ..llm.synthetic_model import SyntheticLLM
+from ..network.bandwidth import ConstantTrace, gbps
+from ..network.link import NetworkLink
+
+__all__ = ["ExperimentResult", "Workbench", "default_link"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced table or figure."""
+
+    name: str
+    description: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def column(self, key: str) -> list[Any]:
+        """Values of one column across all rows."""
+        return [row.get(key) for row in self.rows]
+
+    def filter(self, **criteria: Any) -> list[dict[str, Any]]:
+        """Rows matching all of the given column values."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+
+    def format_table(self, columns: Sequence[str] | None = None, float_fmt: str = "{:.3f}") -> str:
+        """Render the rows as a plain-text table (one line per row)."""
+        if not self.rows:
+            return f"{self.name}: (no rows)"
+        columns = list(columns or self.rows[0].keys())
+        lines = [f"# {self.name} — {self.description}", "\t".join(columns)]
+        for row in self.rows:
+            cells = []
+            for column in columns:
+                value = row.get(column, "")
+                if isinstance(value, float):
+                    cells.append(float_fmt.format(value))
+                else:
+                    cells.append(str(value))
+            lines.append("\t".join(cells))
+        return "\n".join(lines)
+
+
+def default_link(bandwidth_gbps: float = 3.0) -> NetworkLink:
+    """A constant-rate link (the paper's headline setting is 3 Gbps)."""
+    return NetworkLink(ConstantTrace(gbps(bandwidth_gbps)))
+
+
+class Workbench:
+    """Prepares everything needed to evaluate methods on one model + dataset.
+
+    The workbench owns the synthetic LLM, its compute model, a fitted CacheGen
+    encoder, a small set of dataset records, and a cache of reference KV
+    caches.  Experiments ask it for :class:`LoadRequest` objects and evaluate
+    any :class:`ContextLoadingMethod` against them.
+
+    Parameters
+    ----------
+    model:
+        Serving model name or configuration.
+    dataset:
+        Dataset name or instance.
+    num_contexts:
+        How many of the dataset's contexts to evaluate (the paper uses the
+        full datasets; the reproduction defaults to a handful per point to
+        keep the benchmark suite fast — increase for tighter estimates).
+    gpu:
+        GPU spec for the compute model.
+    context_token_cap:
+        Optional cap on context lengths (used by fast test settings).
+    profile_tokens / profile_samples:
+        Size of the offline encoder-profiling workload.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig | str = "mistral-7b",
+        dataset: SyntheticDataset | str = "longchat",
+        num_contexts: int = 3,
+        gpu: GPUSpec = A40,
+        codec_config: CacheGenConfig | None = None,
+        context_token_cap: int | None = None,
+        profile_tokens: int = 1_000,
+        profile_samples: int = 2,
+        kv_cache_size: int = 4,
+    ) -> None:
+        self.model = get_model_config(model) if isinstance(model, str) else model
+        self.dataset = get_dataset(dataset) if isinstance(dataset, str) else dataset
+        self.gpu = gpu
+        self.codec_config = codec_config or CacheGenConfig()
+
+        base_values = {self.dataset.task: self.dataset.base_quality_for(self.model.name)}
+        self.quality_model = QualityModel(
+            num_layers=self.model.sim_layers, base_values=base_values
+        )
+        self.llm = SyntheticLLM(self.model, quality_model=self.quality_model)
+        self.compute = ComputeModel(self.model, gpu)
+
+        records = self.dataset.records(num_contexts)
+        if context_token_cap is not None:
+            records = [
+                ContextRecord(
+                    context_id=record.context_id,
+                    num_tokens=min(record.num_tokens, context_token_cap),
+                    prompt_tokens=record.prompt_tokens,
+                    task=record.task,
+                    question=record.question,
+                )
+                for record in records
+            ]
+        self.records: list[ContextRecord] = records
+
+        self.encoder = CacheGenEncoder(self.codec_config)
+        self.encoder.fit(
+            [
+                self.llm.calculate_kv(f"__profile-{i}", profile_tokens)
+                for i in range(profile_samples)
+            ]
+        )
+
+        self._kv_cache: OrderedDict[str, KVCache] = OrderedDict()
+        self._kv_cache_size = max(kv_cache_size, 1)
+
+    # --------------------------------------------------------------- KV caches
+    def reference_kv(self, record: ContextRecord) -> KVCache:
+        """The lossless KV cache of a record (memoised)."""
+        key = f"{record.context_id}:{record.num_tokens}"
+        if key in self._kv_cache:
+            self._kv_cache.move_to_end(key)
+            return self._kv_cache[key]
+        kv = self.llm.calculate_kv(record.context_id, record.num_tokens)
+        self._kv_cache[key] = kv
+        while len(self._kv_cache) > self._kv_cache_size:
+            self._kv_cache.popitem(last=False)
+        return kv
+
+    # ---------------------------------------------------------------- requests
+    def request_for(
+        self,
+        record: ContextRecord,
+        link: NetworkLink | None = None,
+        gpu_share: float = 1.0,
+        concurrency: int = 1,
+        slo_s: float | None = None,
+    ) -> LoadRequest:
+        """Build a :class:`LoadRequest` for one record."""
+        return LoadRequest(
+            record=record,
+            llm=self.llm,
+            reference_kv=self.reference_kv(record),
+            link=link or default_link(),
+            compute_model=self.compute,
+            quality_model=self.quality_model,
+            gpu_share=gpu_share,
+            concurrency=concurrency,
+            slo_s=slo_s,
+        )
+
+    def evaluate(
+        self,
+        method: ContextLoadingMethod,
+        link: NetworkLink | None = None,
+        records: Iterable[ContextRecord] | None = None,
+        gpu_share: float = 1.0,
+        concurrency: int = 1,
+        slo_s: float | None = None,
+    ) -> list[MethodResult]:
+        """Evaluate one method over all (or the given) records."""
+        chosen = list(records) if records is not None else self.records
+        return [
+            method.evaluate(
+                self.request_for(
+                    record,
+                    link=link,
+                    gpu_share=gpu_share,
+                    concurrency=concurrency,
+                    slo_s=slo_s,
+                )
+            )
+            for record in chosen
+        ]
+
+    # ----------------------------------------------------------------- methods
+    def standard_methods(self, quant_bits: Sequence[int] = (8,)) -> dict[str, ContextLoadingMethod]:
+        """The three-way comparison used throughout §7.2/§7.3."""
+        methods: dict[str, ContextLoadingMethod] = {"text": TextContextBaseline()}
+        for bits in quant_bits:
+            baseline = UniformQuantizationBaseline(bits)
+            methods[baseline.name] = baseline
+        methods["cachegen"] = self.cachegen_method()
+        return methods
+
+    def cachegen_method(self, adaptive: bool = True, fixed_level: str | None = None) -> CacheGenMethod:
+        """A CacheGen method sharing this workbench's fitted encoder."""
+        return CacheGenMethod(self.encoder, adaptive=adaptive, fixed_level=fixed_level)
+
+    # --------------------------------------------------------------- summaries
+    @staticmethod
+    def mean(values: Iterable[float]) -> float:
+        values = list(values)
+        if not values:
+            raise ValueError("no values to average")
+        return float(sum(values) / len(values))
+
+    @staticmethod
+    def summarize(results: Sequence[MethodResult]) -> dict[str, float]:
+        """Mean TTFT, size and quality of a method's results."""
+        if not results:
+            raise ValueError("no results to summarise")
+        return {
+            "ttft_s": Workbench.mean(r.ttft_s for r in results),
+            "kv_size_mb": Workbench.mean(r.kv_size_bytes / 1e6 for r in results),
+            "quality": Workbench.mean(r.quality.value for r in results),
+            "relative_quality": Workbench.mean(r.quality.relative_quality for r in results),
+        }

@@ -1,0 +1,53 @@
+"""Figure 11: TTFT under a wide range of network bandwidths.
+
+Mistral-7B with a 16K-token context, bandwidth swept from sub-Gbps to hundreds
+of Gbps.  CacheGen wins across almost the whole range; the absolute gap over
+the quantization baseline narrows at very high bandwidth, where transfers are
+fast for everyone.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .common import ExperimentResult, Workbench, default_link
+
+__all__ = ["run_figure11", "DEFAULT_BANDWIDTHS_GBPS"]
+
+DEFAULT_BANDWIDTHS_GBPS: tuple[float, ...] = (0.4, 1.0, 3.0, 10.0, 40.0, 100.0, 400.0)
+
+
+def run_figure11(
+    bandwidths_gbps: Sequence[float] = DEFAULT_BANDWIDTHS_GBPS,
+    num_tokens: int = 16_000,
+    model: str = "mistral-7b",
+    dataset: str = "longchat",
+) -> ExperimentResult:
+    """Reproduce Figure 11 (TTFT vs available bandwidth)."""
+    workbench = Workbench(model=model, dataset=dataset, num_contexts=1)
+    base_record = workbench.records[0]
+    record = type(base_record)(
+        context_id=base_record.context_id,
+        num_tokens=num_tokens,
+        prompt_tokens=base_record.prompt_tokens,
+        task=base_record.task,
+        question=base_record.question,
+    )
+    methods = workbench.standard_methods(quant_bits=(8,))
+
+    result = ExperimentResult(
+        name="figure11",
+        description="TTFT of text / quantization / CacheGen vs bandwidth",
+        metadata={"num_tokens": num_tokens, "model": model},
+    )
+    for bandwidth in bandwidths_gbps:
+        link = default_link(bandwidth)
+        for method_name, method in methods.items():
+            outcome = method.evaluate(workbench.request_for(record, link=link))
+            result.add_row(
+                bandwidth_gbps=bandwidth,
+                method=method_name,
+                ttft_s=outcome.ttft_s,
+                kv_size_mb=outcome.kv_size_bytes / 1e6,
+            )
+    return result

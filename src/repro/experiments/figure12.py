@@ -1,0 +1,90 @@
+"""Figure 12: TTFT vs number of concurrent requests and vs context length.
+
+Left: with more concurrent requests each request gets fewer GPU cycles, so the
+text (prefill) baseline degrades much faster than CacheGen.  Right: the longer
+the context, the larger CacheGen's gain; below ~1K tokens CacheGen reverts to
+loading text, which is then the faster path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .common import ExperimentResult, Workbench, default_link
+
+__all__ = ["run_figure12_concurrency", "run_figure12_context_length"]
+
+
+def run_figure12_concurrency(
+    concurrency_levels: Sequence[int] = (1, 2, 4, 8, 12),
+    num_tokens: int = 9_600,
+    bandwidth_gbps: float = 3.0,
+    model: str = "mistral-7b",
+) -> ExperimentResult:
+    """Reproduce Figure 12 (left): TTFT vs number of concurrent requests."""
+    workbench = Workbench(model=model, dataset="longchat", num_contexts=1)
+    base_record = workbench.records[0]
+    record = type(base_record)(
+        context_id=base_record.context_id,
+        num_tokens=num_tokens,
+        prompt_tokens=base_record.prompt_tokens,
+        task=base_record.task,
+        question=base_record.question,
+    )
+    link = default_link(bandwidth_gbps)
+    methods = workbench.standard_methods(quant_bits=(8,))
+
+    result = ExperimentResult(
+        name="figure12-concurrency",
+        description="TTFT vs number of concurrent requests",
+        metadata={"num_tokens": num_tokens},
+    )
+    for n in concurrency_levels:
+        for method_name, method in methods.items():
+            request = workbench.request_for(
+                record, link=link, gpu_share=1.0 / n, concurrency=n
+            )
+            outcome = method.evaluate(request)
+            result.add_row(
+                concurrent_requests=n,
+                method=method_name,
+                ttft_s=outcome.ttft_s,
+            )
+    return result
+
+
+def run_figure12_context_length(
+    context_lengths: Sequence[int] = (100, 500, 1_000, 3_000, 6_000, 9_000, 15_000),
+    bandwidth_gbps: float = 3.0,
+    model: str = "mistral-7b",
+) -> ExperimentResult:
+    """Reproduce Figure 12 (right): TTFT vs context length.
+
+    CacheGen is reported as ``min(cachegen, text)`` because the system reverts
+    to the text path whenever that is faster (short contexts).
+    """
+    workbench = Workbench(model=model, dataset="longchat", num_contexts=1)
+    base_record = workbench.records[0]
+    link = default_link(bandwidth_gbps)
+    methods = workbench.standard_methods(quant_bits=(8,))
+
+    result = ExperimentResult(
+        name="figure12-context-length",
+        description="TTFT vs context length",
+    )
+    for num_tokens in context_lengths:
+        record = type(base_record)(
+            context_id=base_record.context_id,
+            num_tokens=num_tokens,
+            prompt_tokens=base_record.prompt_tokens,
+            task=base_record.task,
+            question=base_record.question,
+        )
+        ttfts: dict[str, float] = {}
+        for method_name, method in methods.items():
+            outcome = method.evaluate(workbench.request_for(record, link=link))
+            ttfts[method_name] = outcome.ttft_s
+        ttfts["cachegen"] = min(ttfts["cachegen"], ttfts["text"])
+        for method_name, ttft in ttfts.items():
+            result.add_row(context_tokens=num_tokens, method=method_name, ttft_s=ttft)
+    return result

@@ -1,0 +1,52 @@
+"""Figure 16: quality of experience (mean opinion score) user study.
+
+The paper shows the same responses delivered with the TTFT of the original
+(text) pipeline, the quantization baseline and CacheGen, and reports MTurk
+mean opinion scores.  The reproduction substitutes a calibrated TTFT-to-MOS
+model (see :mod:`repro.metrics.qoe`); the ordering of the three pipelines is
+what the figure is about.
+"""
+
+from __future__ import annotations
+
+from ..metrics.qoe import mean_opinion_score
+from .common import ExperimentResult, Workbench, default_link
+
+__all__ = ["run_figure16"]
+
+
+def run_figure16(
+    num_samples: int = 3,
+    model: str = "mistral-7b",
+    dataset: str = "longchat",
+    bandwidth_gbps: float = 3.0,
+    context_token_cap: int | None = None,
+) -> ExperimentResult:
+    """Reproduce Figure 16 (MOS of original / quantization / CacheGen)."""
+    workbench = Workbench(
+        model=model,
+        dataset=dataset,
+        num_contexts=num_samples,
+        context_token_cap=context_token_cap,
+    )
+    link = default_link(bandwidth_gbps)
+    methods = workbench.standard_methods(quant_bits=(8,))
+    label_map = {"text": "original", "quant-8bit": "quantization", "cachegen": "cachegen"}
+
+    result = ExperimentResult(
+        name="figure16",
+        description="Mean opinion scores of the three delivery pipelines",
+    )
+    for sample_index, record in enumerate(workbench.records, start=1):
+        for method_name, method in methods.items():
+            outcome = method.evaluate(workbench.request_for(record, link=link))
+            mos = mean_opinion_score(
+                ttft_s=outcome.ttft_s, relative_quality=outcome.quality.relative_quality
+            )
+            result.add_row(
+                sample=f"sample-{sample_index}",
+                pipeline=label_map.get(method_name, method_name),
+                ttft_s=outcome.ttft_s,
+                mos=mos,
+            )
+    return result

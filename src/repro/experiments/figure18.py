@@ -1,0 +1,70 @@
+"""Figure 18: CacheGen vs more intrusive methods.
+
+(a) Smaller models at different quantization levels (perplexity task),
+(b) context/token selection (Scissorhands*), and (c) Gisting, which retrains
+the LLM to accept compressed gist tokens.  CacheGen reaches smaller KV sizes
+at similar or better quality without touching the model or the context.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..baselines import GistingBaseline, ScissorhandsBaseline, SmallerModelBaseline
+from .common import ExperimentResult, Workbench, default_link
+
+__all__ = ["run_figure18"]
+
+
+def run_figure18(
+    model: str = "llama-7b",
+    num_contexts: int = 2,
+    smaller_model_bits: Sequence[int] = (8, 4),
+    scissorhands_keeps: Sequence[float] = (0.5, 0.3, 0.15),
+    gisting_ratios: Sequence[float] = (2.0, 8.0, 32.0),
+    cachegen_levels: Sequence[str] = ("high", "medium", "low"),
+    context_token_cap: int | None = 4_000,
+) -> ExperimentResult:
+    """Reproduce Figure 18 (smaller models, token selection, gisting)."""
+    link = default_link()
+    result = ExperimentResult(
+        name="figure18",
+        description="CacheGen vs smaller models, Scissorhands* and Gisting",
+    )
+
+    panels = {
+        "smaller_model": ("wikitext", [SmallerModelBaseline(num_bits=b) for b in smaller_model_bits]),
+        "context_selection": (
+            "triviaqa",
+            [ScissorhandsBaseline(keep_fraction=k) for k in scissorhands_keeps],
+        ),
+        "gisting": ("longchat", [GistingBaseline(compression_ratio=r) for r in gisting_ratios]),
+    }
+    for panel, (dataset_name, methods) in panels.items():
+        workbench = Workbench(
+            model=model,
+            dataset=dataset_name,
+            num_contexts=num_contexts,
+            context_token_cap=context_token_cap,
+        )
+        for method in methods:
+            summary = Workbench.summarize(workbench.evaluate(method, link=link))
+            result.add_row(
+                panel=panel,
+                dataset=dataset_name,
+                method=method.name,
+                kv_size_mb=summary["kv_size_mb"],
+                quality=summary["quality"],
+            )
+        for level in cachegen_levels:
+            cachegen = workbench.cachegen_method(adaptive=False, fixed_level=level)
+            cachegen.name = f"cachegen-{level}"
+            summary = Workbench.summarize(workbench.evaluate(cachegen, link=link))
+            result.add_row(
+                panel=panel,
+                dataset=dataset_name,
+                method=cachegen.name,
+                kv_size_mb=summary["kv_size_mb"],
+                quality=summary["quality"],
+            )
+    return result

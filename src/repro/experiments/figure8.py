@@ -1,0 +1,60 @@
+"""Figure 8: TTFT vs generation quality across models and datasets.
+
+At 3 Gbps, CacheGen reduces TTFT by 3.1-4.7x over loading the text context and
+by 3.2-3.7x over the quantization baseline, with little quality loss.  Also
+provides the data for Figure 9 (KV size vs quality), since the same runs
+report both metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .common import ExperimentResult, Workbench, default_link
+
+__all__ = ["run_figure8", "DEFAULT_PAIRS"]
+
+#: (model, dataset) pairs shown in Figure 8 / Figure 9.
+DEFAULT_PAIRS: tuple[tuple[str, str], ...] = (
+    ("llama-70b", "longchat"),
+    ("llama-34b", "longchat"),
+    ("mistral-7b", "longchat"),
+    ("llama-70b", "triviaqa"),
+    ("llama-70b", "wikitext"),
+    ("llama-70b", "narrativeqa"),
+)
+
+
+def run_figure8(
+    pairs: Sequence[tuple[str, str]] = DEFAULT_PAIRS,
+    num_contexts: int = 2,
+    bandwidth_gbps: float = 3.0,
+    quant_bits: Sequence[int] = (8, 4),
+    context_token_cap: int | None = None,
+) -> ExperimentResult:
+    """Reproduce Figure 8 (TTFT and quality per model/dataset/method)."""
+    link = default_link(bandwidth_gbps)
+    result = ExperimentResult(
+        name="figure8",
+        description="TTFT and quality of text / quantization / CacheGen",
+        metadata={"bandwidth_gbps": bandwidth_gbps, "num_contexts": num_contexts},
+    )
+    for model_name, dataset_name in pairs:
+        workbench = Workbench(
+            model=model_name,
+            dataset=dataset_name,
+            num_contexts=num_contexts,
+            context_token_cap=context_token_cap,
+        )
+        for method_name, method in workbench.standard_methods(quant_bits=quant_bits).items():
+            summary = Workbench.summarize(workbench.evaluate(method, link=link))
+            result.add_row(
+                model=model_name,
+                dataset=dataset_name,
+                method=method_name,
+                ttft_s=summary["ttft_s"],
+                kv_size_mb=summary["kv_size_mb"],
+                quality=summary["quality"],
+                relative_quality=summary["relative_quality"],
+            )
+    return result

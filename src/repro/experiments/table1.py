@@ -1,0 +1,61 @@
+"""Table 1: KV cache size and accuracy of CacheGen vs the baselines.
+
+Mistral-7B on LongChat.  Rows: 8-bit quantization, CacheGen, H2O, CacheGen on
+H2O, LLMLingua, CacheGen on LLMLingua — reporting the compressed KV cache size
+(MB) and the task accuracy of each method.
+"""
+
+from __future__ import annotations
+
+from ..baselines import (
+    CacheGenOnCompressionBaseline,
+    H2OBaseline,
+    LLMLinguaBaseline,
+    UniformQuantizationBaseline,
+)
+from .common import ExperimentResult, Workbench, default_link
+
+__all__ = ["run_table1"]
+
+
+def run_table1(
+    num_contexts: int = 3,
+    bandwidth_gbps: float = 3.0,
+    model: str = "mistral-7b",
+    dataset: str = "longchat",
+    context_token_cap: int | None = None,
+) -> ExperimentResult:
+    """Reproduce Table 1 (size vs accuracy on Mistral-7B / LongChat)."""
+    workbench = Workbench(
+        model=model,
+        dataset=dataset,
+        num_contexts=num_contexts,
+        context_token_cap=context_token_cap,
+    )
+    link = default_link(bandwidth_gbps)
+
+    h2o = H2OBaseline(keep_fraction=0.45)
+    lingua = LLMLinguaBaseline(keep_fraction=0.79)
+    methods = [
+        UniformQuantizationBaseline(8),
+        workbench.cachegen_method(),
+        h2o,
+        CacheGenOnCompressionBaseline(h2o, workbench.encoder),
+        lingua,
+        CacheGenOnCompressionBaseline(lingua, workbench.encoder),
+    ]
+
+    result = ExperimentResult(
+        name="table1",
+        description="KV cache size (MB) and accuracy, Mistral-7B on LongChat",
+        metadata={"model": model, "dataset": dataset, "num_contexts": num_contexts},
+    )
+    for method in methods:
+        summary = Workbench.summarize(workbench.evaluate(method, link=link))
+        result.add_row(
+            technique=method.name,
+            kv_size_mb=summary["kv_size_mb"],
+            accuracy=summary["quality"],
+            relative_quality=summary["relative_quality"],
+        )
+    return result

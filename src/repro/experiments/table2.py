@@ -1,0 +1,26 @@
+"""Table 2: size and context-length statistics of the evaluation datasets."""
+
+from __future__ import annotations
+
+from ..datasets import ALL_DATASETS
+from .common import ExperimentResult
+
+__all__ = ["run_table2"]
+
+
+def run_table2(seed: int = 0) -> ExperimentResult:
+    """Reproduce Table 2 (dataset sizes and context length statistics)."""
+    result = ExperimentResult(
+        name="table2",
+        description="Size and context lengths of the evaluation datasets",
+    )
+    for name, dataset_cls in ALL_DATASETS.items():
+        stats = dataset_cls(seed=seed).length_statistics()
+        result.add_row(
+            dataset=name,
+            size=stats["size"],
+            median_tokens=stats["median"],
+            std_tokens=stats["std"],
+            p95_tokens=stats["p95"],
+        )
+    return result

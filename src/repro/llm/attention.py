@@ -1,0 +1,109 @@
+"""Attention-score utilities for token-dropping baselines.
+
+H2O and Scissorhands drop tokens whose cumulative attention scores are low
+("heavy-hitter" policies).  The synthetic LLM exposes a per-token attention
+mass vector (:meth:`repro.llm.SyntheticLLM.attention_scores`); this module
+provides the selection logic the baselines share: choosing which token
+positions to keep for a target keep-fraction, and measuring how much attention
+mass the kept tokens cover (which drives the quality surrogate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TokenSelection", "select_heavy_hitters", "select_uniform", "coverage_of"]
+
+
+@dataclass(frozen=True)
+class TokenSelection:
+    """Result of selecting a subset of context token positions.
+
+    Attributes
+    ----------
+    kept_positions:
+        Sorted array of kept token indices.
+    keep_fraction:
+        Fraction of tokens kept.
+    attention_coverage:
+        Fraction of total attention mass carried by the kept tokens.
+    """
+
+    kept_positions: np.ndarray
+    keep_fraction: float
+    attention_coverage: float
+
+    @property
+    def num_kept(self) -> int:
+        return int(len(self.kept_positions))
+
+
+def _validate(scores: np.ndarray, keep_fraction: float) -> np.ndarray:
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1 or len(scores) == 0:
+        raise ValueError("scores must be a non-empty 1-D array")
+    if np.any(scores < 0):
+        raise ValueError("attention scores must be non-negative")
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    return scores
+
+
+def coverage_of(scores: np.ndarray, kept_positions: np.ndarray) -> float:
+    """Fraction of attention mass covered by ``kept_positions``."""
+    scores = np.asarray(scores, dtype=np.float64)
+    total = float(scores.sum())
+    if total <= 0:
+        return 0.0
+    return float(scores[np.asarray(kept_positions, dtype=int)].sum() / total)
+
+
+def select_heavy_hitters(
+    scores: np.ndarray, keep_fraction: float, recent_window_fraction: float = 0.1
+) -> TokenSelection:
+    """Keep the highest-attention tokens plus a window of the most recent ones.
+
+    This mirrors H2O's policy of retaining heavy-hitter tokens and the local
+    (recent) tokens.  ``recent_window_fraction`` of the budget is reserved for
+    the most recent tokens regardless of their scores.
+    """
+    scores = _validate(scores, keep_fraction)
+    if not 0.0 <= recent_window_fraction <= 1.0:
+        raise ValueError("recent_window_fraction must be in [0, 1]")
+    n = len(scores)
+    budget = max(int(round(keep_fraction * n)), 1)
+    recent_budget = min(int(round(recent_window_fraction * budget)), budget)
+    recent = np.arange(n - recent_budget, n) if recent_budget > 0 else np.empty(0, dtype=int)
+
+    remaining_budget = budget - len(recent)
+    candidates = np.setdiff1d(np.arange(n), recent, assume_unique=True)
+    order = candidates[np.argsort(scores[candidates])[::-1]]
+    heavy = order[:remaining_budget]
+
+    kept = np.sort(np.concatenate([recent, heavy]).astype(int))
+    return TokenSelection(
+        kept_positions=kept,
+        keep_fraction=len(kept) / n,
+        attention_coverage=coverage_of(scores, kept),
+    )
+
+
+def select_uniform(scores: np.ndarray, keep_fraction: float, seed: int = 0) -> TokenSelection:
+    """Keep a uniformly random subset of tokens (query-agnostic pruning).
+
+    Used to model pruning policies that cannot see the query (LLMLingua-style
+    text compression in the offline stage) and therefore cover less attention
+    mass than heavy-hitter selection at the same keep fraction.
+    """
+    scores = _validate(scores, keep_fraction)
+    n = len(scores)
+    budget = max(int(round(keep_fraction * n)), 1)
+    rng = np.random.default_rng(seed)
+    kept = np.sort(rng.choice(n, size=budget, replace=False))
+    return TokenSelection(
+        kept_positions=kept.astype(int),
+        keep_fraction=budget / n,
+        attention_coverage=coverage_of(scores, kept),
+    )

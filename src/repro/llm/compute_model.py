@@ -1,0 +1,143 @@
+"""Analytical compute / latency model of the GPU serving substrate.
+
+The paper's testbed is an NVIDIA A40 server; TTFT measurements combine the
+network transfer of the context (text or KV bitstream), the decode
+(decompression) of KV bitstreams, and the prefill computation for whatever
+part of the context arrives as text, plus the prefill of the user prompt
+itself.  This module provides the FLOPs and delay model for the compute side.
+
+Calibration anchors:
+
+* The paper's introduction cites ~2 seconds of prefill for a 3K-token context
+  (a 7B-class model on an A40).
+* Figure 14b reports ~250 TFLOPs of prefill compute for a ~9.4K-token LongChat
+  context on Mistral-7B, and negligible compute for CacheGen's decode.
+
+Prefill FLOPs follow the standard estimate ``2 * P * T`` for the MLP/attention
+projections plus the quadratic attention term; delay divides FLOPs by an
+effective throughput (peak throughput x utilisation), shared equally among
+concurrent requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model_config import ModelConfig
+
+__all__ = ["GPUSpec", "ComputeModel", "A40", "A100"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU's compute capability for the latency model.
+
+    Parameters
+    ----------
+    name:
+        GPU model name.
+    peak_tflops:
+        Peak dense fp16 throughput in TFLOPS.
+    prefill_utilization:
+        Fraction of peak throughput achieved during prefill (memory- and
+        kernel-efficiency losses).  Calibrated so a 3K-token prefill of a
+        7B-class model takes about 2 seconds on an A40.
+    """
+
+    name: str
+    peak_tflops: float
+    prefill_utilization: float = 0.18
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained prefill throughput in FLOP/s."""
+        return self.peak_tflops * 1e12 * self.prefill_utilization
+
+
+A40 = GPUSpec(name="A40", peak_tflops=150.0, prefill_utilization=0.18)
+A100 = GPUSpec(name="A100", peak_tflops=312.0, prefill_utilization=0.22)
+
+
+class ComputeModel:
+    """FLOPs and delay model for prefill, decode, and CacheGen's codec.
+
+    Parameters
+    ----------
+    model:
+        The LLM configuration being served.
+    gpu:
+        GPU specification; defaults to the paper's A40.
+    """
+
+    #: FLOPs spent by CacheGen's GPU arithmetic decoder per KV element.  The
+    #: paper reports the decode compute is negligible next to prefill.
+    DECODE_FLOPS_PER_ELEMENT = 8.0
+    #: FLOPs spent by the encoder per KV element (offline path).
+    ENCODE_FLOPS_PER_ELEMENT = 12.0
+    #: Effective throughput multiplier of the codec kernels relative to
+    #: prefill (they are bandwidth-bound, simple kernels).
+    CODEC_UTILIZATION = 0.35
+
+    def __init__(self, model: ModelConfig, gpu: GPUSpec = A40) -> None:
+        self.model = model
+        self.gpu = gpu
+
+    # ------------------------------------------------------------------ FLOPs
+    def prefill_flops(self, num_tokens: int) -> float:
+        """FLOPs to prefill ``num_tokens`` of context (or prompt)."""
+        if num_tokens < 0:
+            raise ValueError("num_tokens must be non-negative")
+        cfg = self.model
+        linear = 2.0 * cfg.num_parameters * num_tokens
+        attention = 4.0 * cfg.num_layers * cfg.hidden_size * float(num_tokens) ** 2
+        return linear + attention
+
+    def decode_flops(self, num_tokens: int) -> float:
+        """FLOPs for CacheGen's GPU bitstream decoder over ``num_tokens``."""
+        elements = self.model.kv_elements_per_token * max(num_tokens, 0)
+        return self.DECODE_FLOPS_PER_ELEMENT * elements
+
+    def encode_flops(self, num_tokens: int) -> float:
+        """FLOPs for CacheGen's offline encoder over ``num_tokens``."""
+        elements = self.model.kv_elements_per_token * max(num_tokens, 0)
+        return self.ENCODE_FLOPS_PER_ELEMENT * elements
+
+    # ------------------------------------------------------------------ delays
+    def prefill_delay(self, num_tokens: int, gpu_share: float = 1.0) -> float:
+        """Seconds to prefill ``num_tokens`` given a fraction of the GPU.
+
+        ``gpu_share`` models concurrency: with ``n`` concurrent requests each
+        gets ``1/n`` of the GPU (§7.3, Figure 12 left).
+        """
+        share = self._validate_share(gpu_share)
+        return self.prefill_flops(num_tokens) / (self.gpu.effective_flops * share)
+
+    def decode_delay(self, num_tokens: int, gpu_share: float = 1.0) -> float:
+        """Seconds for the GPU arithmetic decoder to decode ``num_tokens``."""
+        share = self._validate_share(gpu_share)
+        throughput = self.gpu.peak_tflops * 1e12 * self.CODEC_UTILIZATION * share
+        return self.decode_flops(num_tokens) / throughput
+
+    def encode_delay(self, num_tokens: int, gpu_share: float = 1.0) -> float:
+        """Seconds for the offline encoder to encode ``num_tokens``."""
+        share = self._validate_share(gpu_share)
+        throughput = self.gpu.peak_tflops * 1e12 * self.CODEC_UTILIZATION * share
+        return self.encode_flops(num_tokens) / throughput
+
+    def per_token_decode_delay(self, gpu_share: float = 1.0) -> float:
+        """Seconds to generate one output token (autoregressive decoding).
+
+        Dominated by reading the model weights once per token; used only to
+        model the marginal delay after the first token, which CacheGen does
+        not change.
+        """
+        share = self._validate_share(gpu_share)
+        bytes_read = 2.0 * self.model.num_parameters
+        memory_bandwidth = 600e9  # A40-class HBM bandwidth, bytes/s
+        return bytes_read / (memory_bandwidth * share)
+
+    @staticmethod
+    def _validate_share(gpu_share: float) -> float:
+        if not 0.0 < gpu_share <= 1.0:
+            raise ValueError("gpu_share must be in (0, 1]")
+        return gpu_share

@@ -1,0 +1,22 @@
+"""Quality, system, entropy and QoE metrics used by the evaluation harness."""
+
+from .entropy import empirical_entropy_bits, grouped_entropy, grouping_entropy_comparison
+from .qoe import mean_opinion_score
+from .quality import QualitySummary, accuracy, f1_score, perplexity, summarize_quality
+from .system import TTFTBreakdown, size_reduction, slo_violation_rate, speedup
+
+__all__ = [
+    "QualitySummary",
+    "TTFTBreakdown",
+    "accuracy",
+    "empirical_entropy_bits",
+    "f1_score",
+    "grouped_entropy",
+    "grouping_entropy_comparison",
+    "mean_opinion_score",
+    "perplexity",
+    "size_reduction",
+    "slo_violation_rate",
+    "speedup",
+    "summarize_quality",
+]

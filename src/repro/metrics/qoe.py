@@ -1,0 +1,51 @@
+"""Quality-of-experience (QoE) model for the user study of Figure 16.
+
+The paper runs an IRB-approved MTurk study where users rate the same response
+delivered with different TTFTs on a 1-5 mean-opinion-score (MOS) scale, and
+finds that CacheGen's shorter TTFT yields consistently higher MOS.  We cannot
+run a user study, so the reproduction uses a monotone TTFT-to-MOS mapping in
+line with the interactivity literature the paper cites: satisfaction is flat
+for sub-second responses and decays roughly logarithmically as the wait grows,
+and is further scaled by the response's generation quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mean_opinion_score"]
+
+#: MOS scale bounds.
+MOS_MIN = 1.0
+MOS_MAX = 5.0
+
+
+def mean_opinion_score(
+    ttft_s: float,
+    relative_quality: float = 1.0,
+    tolerance_s: float = 0.6,
+    sensitivity: float = 1.1,
+) -> float:
+    """Mean opinion score (1-5) for a response with a given TTFT and quality.
+
+    Parameters
+    ----------
+    ttft_s:
+        Time-to-first-token experienced by the user.
+    relative_quality:
+        Generation quality relative to a lossless cache (1.0 = identical).
+    tolerance_s:
+        Wait below which users barely notice the delay.
+    sensitivity:
+        MOS points lost per doubling of the wait beyond the tolerance.
+    """
+    if ttft_s < 0:
+        raise ValueError("ttft_s must be non-negative")
+    if not 0.0 <= relative_quality <= 1.0:
+        raise ValueError("relative_quality must be in [0, 1]")
+    if ttft_s <= tolerance_s:
+        delay_score = MOS_MAX
+    else:
+        delay_score = MOS_MAX - sensitivity * np.log2(ttft_s / tolerance_s)
+    score = delay_score - 2.5 * (1.0 - relative_quality)
+    return float(np.clip(score, MOS_MIN, MOS_MAX))

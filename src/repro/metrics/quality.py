@@ -1,0 +1,75 @@
+"""Aggregation helpers for generation-quality metrics.
+
+The per-generation scores come from :class:`repro.llm.QualityModel`; the
+experiment harness aggregates them per method / dataset / model the same way
+the paper does: mean accuracy, mean F1, mean perplexity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..llm.quality import GenerationQuality
+
+__all__ = ["QualitySummary", "summarize_quality", "accuracy", "f1_score", "perplexity"]
+
+
+@dataclass(frozen=True)
+class QualitySummary:
+    """Mean quality of a set of generations sharing a task."""
+
+    task: str
+    metric: str
+    mean_value: float
+    mean_relative: float
+    count: int
+
+    @property
+    def higher_is_better(self) -> bool:
+        return self.metric != "perplexity"
+
+
+def summarize_quality(qualities: Sequence[GenerationQuality]) -> QualitySummary:
+    """Aggregate generation qualities (all must share the same task)."""
+    if not qualities:
+        raise ValueError("no qualities to summarise")
+    tasks = {q.task for q in qualities}
+    if len(tasks) != 1:
+        raise ValueError(f"cannot aggregate mixed tasks: {sorted(tasks)}")
+    values = np.array([q.value for q in qualities])
+    relatives = np.array([q.relative_quality for q in qualities])
+    first = qualities[0]
+    return QualitySummary(
+        task=first.task,
+        metric=first.metric,
+        mean_value=float(values.mean()),
+        mean_relative=float(relatives.mean()),
+        count=len(qualities),
+    )
+
+
+def accuracy(predictions: Iterable[bool]) -> float:
+    """Exact-match accuracy of boolean match indicators (LongChat metric)."""
+    predictions = list(predictions)
+    if not predictions:
+        raise ValueError("no predictions")
+    return float(np.mean([1.0 if p else 0.0 for p in predictions]))
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (TriviaQA / NarrativeQA metric)."""
+    if not 0 <= precision <= 1 or not 0 <= recall <= 1:
+        raise ValueError("precision and recall must be in [0, 1]")
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def perplexity(log_likelihoods: Sequence[float]) -> float:
+    """Perplexity from per-token natural-log likelihoods (WikiText metric)."""
+    if len(log_likelihoods) == 0:
+        raise ValueError("no log likelihoods")
+    return float(np.exp(-np.mean(log_likelihoods)))

@@ -1,0 +1,67 @@
+"""System metrics: TTFT breakdowns, KV cache sizes and SLO violation rates.
+
+The paper reports two system metrics (§7.1): the size of the (compressed) KV
+cache, which measures bandwidth demand, and the time-to-first-token (TTFT),
+which combines the loading delay of the context (network + decode/prefill)
+with the prefill of the user's new question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["TTFTBreakdown", "slo_violation_rate", "size_reduction", "speedup"]
+
+
+@dataclass(frozen=True)
+class TTFTBreakdown:
+    """Time-to-first-token decomposed the way Figure 14a reports it.
+
+    Attributes
+    ----------
+    network_s:
+        Time spent transferring the context (text or KV bitstreams).
+    decode_s:
+        Receiver-side bitstream decode time not hidden by the transfer.
+    compute_s:
+        Prefill compute time (text chunks and the user prompt).
+    """
+
+    network_s: float
+    decode_s: float
+    compute_s: float
+
+    def __post_init__(self) -> None:
+        if min(self.network_s, self.decode_s, self.compute_s) < 0:
+            raise ValueError("delay components must be non-negative")
+
+    @property
+    def total_s(self) -> float:
+        return self.network_s + self.decode_s + self.compute_s
+
+
+def slo_violation_rate(ttfts: Sequence[float], slo_s: float) -> float:
+    """Fraction of requests whose TTFT exceeded the SLO (Figure 13 metric)."""
+    if slo_s <= 0:
+        raise ValueError("slo_s must be positive")
+    ttfts = np.asarray(list(ttfts), dtype=np.float64)
+    if ttfts.size == 0:
+        raise ValueError("no TTFT samples")
+    return float(np.mean(ttfts > slo_s))
+
+
+def size_reduction(baseline_bytes: float, compressed_bytes: float) -> float:
+    """Size-reduction factor ("CacheGen reduces KV cache size by 3.5-4.3x")."""
+    if baseline_bytes <= 0 or compressed_bytes <= 0:
+        raise ValueError("sizes must be positive")
+    return baseline_bytes / compressed_bytes
+
+
+def speedup(baseline_seconds: float, new_seconds: float) -> float:
+    """Delay-reduction factor ("3.2-3.7x faster than the quantization baseline")."""
+    if baseline_seconds <= 0 or new_seconds <= 0:
+        raise ValueError("delays must be positive")
+    return baseline_seconds / new_seconds

@@ -1,0 +1,26 @@
+"""Network substrate: bandwidth traces, links, and pipelined transfer simulation."""
+
+from .bandwidth import (
+    BandwidthTrace,
+    ConstantTrace,
+    PiecewiseTrace,
+    RandomTrace,
+    StepTrace,
+    gbps,
+)
+from .link import NetworkLink, TransferResult
+from .simulator import PipelineResult, PipelineSegment, PipelineSimulator
+
+__all__ = [
+    "BandwidthTrace",
+    "ConstantTrace",
+    "NetworkLink",
+    "PiecewiseTrace",
+    "PipelineResult",
+    "PipelineSegment",
+    "PipelineSimulator",
+    "RandomTrace",
+    "StepTrace",
+    "TransferResult",
+    "gbps",
+]

@@ -1,0 +1,84 @@
+"""Pipelined transfer/processing simulation.
+
+CacheGen pipelines the decoding of context chunk ``i-1`` with the network
+transmission of chunk ``i`` (§6), so the end-to-end delay of fetching a KV
+cache is not "transfer + decode" but the makespan of a two-stage pipeline.
+:class:`PipelineSimulator` computes that makespan over a
+:class:`~repro.network.link.NetworkLink`, and is also used for the text
+fallback (where the per-chunk processing stage is the prefill computation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .link import NetworkLink
+
+__all__ = ["PipelineSegment", "PipelineResult", "PipelineSimulator"]
+
+
+@dataclass(frozen=True)
+class PipelineSegment:
+    """One unit of work: transfer ``num_bytes`` then process for ``process_s``."""
+
+    num_bytes: float
+    process_s: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_bytes < 0 or self.process_s < 0:
+            raise ValueError("segment sizes and delays must be non-negative")
+
+
+@dataclass
+class PipelineResult:
+    """Timeline of a pipelined transfer.
+
+    Attributes
+    ----------
+    transfer_end_times / process_end_times:
+        Per-segment completion times of the two stages.
+    total_time:
+        Completion time of the last processing stage (relative to start 0).
+    network_time:
+        Time the link was busy (end of the last transfer).
+    processing_time:
+        Sum of per-segment processing delays.
+    """
+
+    transfer_end_times: list[float] = field(default_factory=list)
+    process_end_times: list[float] = field(default_factory=list)
+    total_time: float = 0.0
+    network_time: float = 0.0
+    processing_time: float = 0.0
+
+
+class PipelineSimulator:
+    """Simulates transfer of segments with processing pipelined behind it."""
+
+    def __init__(self, link: NetworkLink) -> None:
+        self.link = link
+
+    def run(self, segments: Sequence[PipelineSegment], start_time: float = 0.0) -> PipelineResult:
+        """Simulate the pipeline and return its timeline.
+
+        The transfer of segment ``i+1`` starts as soon as segment ``i`` has
+        finished transferring; the processing of segment ``i`` starts once it
+        is fully received and the processor is free (processing is sequential,
+        as chunks must be appended to the KV cache in order).
+        """
+        result = PipelineResult()
+        transfer_clock = start_time
+        process_clock = start_time
+        for segment in segments:
+            transfer = self.link.transfer(segment.num_bytes, transfer_clock)
+            transfer_clock = transfer.end_time
+            process_start = max(transfer_clock, process_clock)
+            process_clock = process_start + segment.process_s
+            result.transfer_end_times.append(transfer_clock)
+            result.process_end_times.append(process_clock)
+            result.processing_time += segment.process_s
+        result.network_time = transfer_clock - start_time
+        result.total_time = (process_clock if segments else start_time) - start_time
+        return result

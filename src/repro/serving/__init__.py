@@ -1,0 +1,6 @@
+"""Serving integration: the end-to-end context-loading engine of §6."""
+
+from .engine import ContextLoadingEngine
+from .pipeline import IngestReport, QueryResponse
+
+__all__ = ["ContextLoadingEngine", "IngestReport", "QueryResponse"]

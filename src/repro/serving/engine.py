@@ -1,0 +1,244 @@
+"""End-to-end context-loading engine (the §6 serving integration).
+
+This is the component an application framework (the paper integrates with
+LangChain) talks to:
+
+* :meth:`ContextLoadingEngine.ingest` computes a context's KV cache once
+  (``calculate_kv``), encodes it at every level and stores the bitstreams
+  (``store_kv``);
+* :meth:`ContextLoadingEngine.query` answers a question against a context —
+  if its KV cache is stored, the engine streams and decodes it (adapting to
+  bandwidth and an optional TTFT SLO) and calls ``generate_with_kv``;
+  otherwise it falls back to fetching the text and prefilling.
+
+The engine also follows §7.3's observation that for short contexts loading
+the text can be faster than loading the KV cache: when the estimated
+text-path TTFT is lower, it reverts to the text path even for stored
+contexts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.config import CacheGenConfig
+from ..core.decoder import CacheGenDecoder
+from ..core.encoder import CacheGenEncoder
+from ..llm.compute_model import A40, ComputeModel, GPUSpec
+from ..llm.model_config import ModelConfig, get_model_config
+from ..llm.quality import QualityModel
+from ..llm.synthetic_model import SyntheticLLM
+from ..metrics.system import TTFTBreakdown
+from ..network.link import NetworkLink
+from ..storage.kv_store import KVCacheStore
+from ..streaming.adaptation import FixedLevelPolicy, SLOAwareAdapter
+from ..streaming.streamer import KVStreamer
+from .pipeline import IngestReport, QueryResponse
+
+__all__ = ["ContextLoadingEngine"]
+
+#: Number of synthetic sample contexts used to profile the encoder offline.
+_PROFILE_SAMPLES = 2
+_PROFILE_TOKENS = 1_500
+
+
+@dataclass
+class _EngineComponents:
+    llm: SyntheticLLM
+    compute: ComputeModel
+    encoder: CacheGenEncoder
+    decoder: CacheGenDecoder
+    store: KVCacheStore
+
+
+class ContextLoadingEngine:
+    """Serves queries over reusable long contexts with CacheGen underneath.
+
+    Parameters
+    ----------
+    model:
+        Serving model (name or :class:`ModelConfig`).
+    link:
+        Network link between the KV storage server and the GPU server.
+    config:
+        Codec/streamer configuration; defaults to the paper's settings.
+    gpu:
+        GPU specification of the serving node.
+    base_quality:
+        Optional per-task lossless quality overrides for the quality surrogate.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig | str,
+        link: NetworkLink | None = None,
+        config: CacheGenConfig | None = None,
+        gpu: GPUSpec = A40,
+        base_quality: dict[str, float] | None = None,
+    ) -> None:
+        if isinstance(model, str):
+            model = get_model_config(model)
+        self.model = model
+        self.link = link or NetworkLink()
+        self.config = config or CacheGenConfig()
+
+        quality_model = QualityModel(num_layers=model.sim_layers, base_values=base_quality)
+        llm = SyntheticLLM(model, quality_model=quality_model)
+        encoder = CacheGenEncoder(self.config)
+        encoder.fit(
+            [llm.calculate_kv(f"__profile-{i}", _PROFILE_TOKENS) for i in range(_PROFILE_SAMPLES)]
+        )
+        self._parts = _EngineComponents(
+            llm=llm,
+            compute=ComputeModel(model, gpu),
+            encoder=encoder,
+            decoder=CacheGenDecoder(encoder),
+            store=KVCacheStore(encoder),
+        )
+
+    # ------------------------------------------------------------------ access
+    @property
+    def llm(self) -> SyntheticLLM:
+        return self._parts.llm
+
+    @property
+    def store(self) -> KVCacheStore:
+        return self._parts.store
+
+    @property
+    def encoder(self) -> CacheGenEncoder:
+        return self._parts.encoder
+
+    @property
+    def compute_model(self) -> ComputeModel:
+        return self._parts.compute
+
+    # ------------------------------------------------------------------ ingest
+    def ingest(self, context_id: str, num_tokens: int) -> IngestReport:
+        """Prefill a context once, encode its KV cache and store the bitstreams."""
+        start = time.perf_counter()
+        kv = self._parts.llm.calculate_kv(context_id, num_tokens)
+        stored = self._parts.store.store_kv(context_id, kv)
+        per_level: dict[str, float] = {}
+        for chunk in stored.chunks:
+            for level_name, encoded in chunk.encodings.items():
+                per_level[level_name] = per_level.get(level_name, 0.0) + encoded.compressed_bytes
+        return IngestReport(
+            context_id=context_id,
+            num_tokens=num_tokens,
+            num_chunks=stored.num_chunks,
+            stored_bytes_per_level=per_level,
+            encode_delay_s=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------- query
+    def query(
+        self,
+        context_id: str,
+        question: str,
+        num_tokens: int | None = None,
+        task: str = "qa_accuracy",
+        slo_s: float | None = None,
+    ) -> QueryResponse:
+        """Answer a question against a context, loading its KV cache if stored.
+
+        ``num_tokens`` is only required for contexts that were never ingested
+        (the engine then falls back to the text path).
+        """
+        parts = self._parts
+        prompt_tokens = max(parts.llm.tokenizer.count_tokens(question), 1)
+
+        if context_id in parts.store:
+            stored = parts.store.get_context(context_id)
+            if not self._prefer_text_path(stored.num_tokens):
+                return self._query_with_kv(stored, question, prompt_tokens, task, slo_s)
+            num_tokens = stored.num_tokens
+        if num_tokens is None:
+            raise ValueError(
+                "num_tokens is required for contexts that have not been ingested"
+            )
+        return self._query_with_text(context_id, question, num_tokens, prompt_tokens, task)
+
+    # ------------------------------------------------------------------ pieces
+    def _prefer_text_path(self, num_tokens: int) -> bool:
+        """Short contexts load faster as text than as KV bitstreams (§7.3)."""
+        parts = self._parts
+        text_bytes = num_tokens * self.config.text_bytes_per_token
+        text_ttft = self.link.estimate_transfer_time(text_bytes) + parts.compute.prefill_delay(
+            num_tokens
+        )
+        kv_bytes = self.model.kv_cache_bytes(num_tokens, bits_per_element=2.4)
+        kv_ttft = self.link.estimate_transfer_time(kv_bytes) + parts.compute.decode_delay(num_tokens)
+        return text_ttft < kv_ttft
+
+    def _query_with_kv(
+        self,
+        stored,
+        question: str,
+        prompt_tokens: int,
+        task: str,
+        slo_s: float | None,
+    ) -> QueryResponse:
+        parts = self._parts
+        streamer = KVStreamer(
+            decoder=parts.decoder,
+            compute_model=parts.compute,
+            initial_throughput_bps=self.link.trace.bandwidth_at(0.0),
+        )
+        if slo_s is not None:
+            policy = SLOAwareAdapter(level_names=[level.name for level in self.config.levels])
+        else:
+            policy = FixedLevelPolicy(level_name=self.config.default_level.name)
+        streamed = streamer.stream(
+            stored.chunks, link=self.link, policy=policy, slo_s=slo_s, reconstruct=True
+        )
+        assert streamed.kv is not None
+        reference_kv = parts.llm.calculate_kv(stored.context_id, stored.num_tokens)
+        generation = parts.llm.generate_with_kv(
+            streamed.kv, reference_kv=reference_kv, task=task
+        )
+        ttft = TTFTBreakdown(
+            network_s=streamed.network_time_s,
+            decode_s=max(streamed.total_time_s - streamed.network_time_s, 0.0),
+            compute_s=parts.compute.prefill_delay(prompt_tokens),
+        )
+        return QueryResponse(
+            context_id=stored.context_id,
+            question=question,
+            text=generation.text,
+            quality=generation.quality,
+            ttft=ttft,
+            used_kv_cache=True,
+            chunk_configs=streamed.configs,
+            transmitted_bytes=streamed.total_bytes,
+        )
+
+    def _query_with_text(
+        self,
+        context_id: str,
+        question: str,
+        num_tokens: int,
+        prompt_tokens: int,
+        task: str,
+    ) -> QueryResponse:
+        parts = self._parts
+        text_bytes = num_tokens * self.config.text_bytes_per_token
+        transfer = self.link.transfer(text_bytes)
+        kv = parts.llm.calculate_kv(context_id, num_tokens)
+        generation = parts.llm.generate_with_kv(kv, reference_kv=kv, task=task)
+        ttft = TTFTBreakdown(
+            network_s=transfer.duration,
+            decode_s=0.0,
+            compute_s=parts.compute.prefill_delay(num_tokens + prompt_tokens),
+        )
+        return QueryResponse(
+            context_id=context_id,
+            question=question,
+            text=generation.text,
+            quality=generation.quality,
+            ttft=ttft,
+            used_kv_cache=False,
+            chunk_configs=["text"],
+            transmitted_bytes=text_bytes,
+        )

@@ -1,0 +1,50 @@
+"""Request/response types of the serving integration (§6).
+
+These are the objects the :class:`~repro.serving.engine.ContextLoadingEngine`
+exchanges with applications: an ingest report describing what was stored for a
+context, and a query response carrying the generated text together with the
+TTFT breakdown and the loading decisions the streamer made.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..llm.quality import GenerationQuality
+from ..metrics.system import TTFTBreakdown
+
+__all__ = ["IngestReport", "QueryResponse"]
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Summary of storing one context's encoded KV cache."""
+
+    context_id: str
+    num_tokens: int
+    num_chunks: int
+    stored_bytes_per_level: Mapping[str, float]
+    encode_delay_s: float
+
+    @property
+    def total_stored_bytes(self) -> float:
+        return float(sum(self.stored_bytes_per_level.values()))
+
+
+@dataclass
+class QueryResponse:
+    """Response to a query against a (possibly cached) context."""
+
+    context_id: str
+    question: str
+    text: str
+    quality: GenerationQuality
+    ttft: TTFTBreakdown
+    used_kv_cache: bool
+    chunk_configs: Sequence[str] = field(default_factory=list)
+    transmitted_bytes: float = 0.0
+
+    @property
+    def ttft_s(self) -> float:
+        return self.ttft.total_s

@@ -1,0 +1,6 @@
+"""Storage substrate: the KV cache store and the storage/recompute cost model."""
+
+from .cost import CostAnalysis, CostModel, PricingModel
+from .kv_store import KVCacheStore, StoredContext
+
+__all__ = ["CostAnalysis", "CostModel", "KVCacheStore", "PricingModel", "StoredContext"]

@@ -1,0 +1,102 @@
+"""Storage-versus-recompute cost model (Appendix E).
+
+The paper's Appendix E estimates when storing a compressed KV cache is cheaper
+than recomputing it from text on every request: storing ~5 GB of encoded
+versions of an 8.5K-token Llama-13B context costs ~$0.05 per month on object
+storage, while recomputing the prefill costs at least ~$0.00085 per request at
+typical per-token inference prices — so above ~150 reuses per month the cache
+pays for itself.  This module reproduces that arithmetic for any model,
+context length and price point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..llm.model_config import ModelConfig
+
+__all__ = ["PricingModel", "CostAnalysis", "CostModel"]
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Cloud prices used by the cost analysis.
+
+    Defaults follow the paper's Appendix E references: AWS S3 standard storage
+    (~$0.023/GB-month, rounded to $0.01/GB-month granularity in the paper's
+    estimate) and ~$0.0001/1K input tokens as the cheapest hosted-inference
+    price among the providers cited.
+    """
+
+    storage_usd_per_gb_month: float = 0.023
+    inference_usd_per_1k_input_tokens: float = 0.0001
+
+    def __post_init__(self) -> None:
+        if self.storage_usd_per_gb_month <= 0 or self.inference_usd_per_1k_input_tokens <= 0:
+            raise ValueError("prices must be positive")
+
+
+@dataclass(frozen=True)
+class CostAnalysis:
+    """Result of comparing storage cost against recompute cost."""
+
+    storage_usd_per_month: float
+    recompute_usd_per_request: float
+    breakeven_requests_per_month: float
+
+    def storing_is_cheaper(self, requests_per_month: float) -> bool:
+        """Whether caching wins at a given reuse rate."""
+        return requests_per_month >= self.breakeven_requests_per_month
+
+
+class CostModel:
+    """Computes storage vs recompute costs for cached contexts."""
+
+    def __init__(self, pricing: PricingModel | None = None) -> None:
+        self.pricing = pricing or PricingModel()
+
+    def storage_cost_per_month(self, stored_bytes: float) -> float:
+        """Monthly cost (USD) of keeping ``stored_bytes`` on object storage."""
+        if stored_bytes < 0:
+            raise ValueError("stored_bytes must be non-negative")
+        return stored_bytes / 1e9 * self.pricing.storage_usd_per_gb_month
+
+    def recompute_cost_per_request(self, num_tokens: int) -> float:
+        """Cost (USD) of re-prefilling ``num_tokens`` of context once."""
+        if num_tokens < 0:
+            raise ValueError("num_tokens must be non-negative")
+        return num_tokens / 1000.0 * self.pricing.inference_usd_per_1k_input_tokens
+
+    def analyse(
+        self,
+        model: ModelConfig,
+        num_tokens: int,
+        compressed_bits_per_element: float,
+        num_stored_versions: int = 4,
+    ) -> CostAnalysis:
+        """Compare storing a context's encoded KV cache against recomputation.
+
+        Parameters
+        ----------
+        model:
+            Model whose KV cache is being stored.
+        num_tokens:
+            Context length.
+        compressed_bits_per_element:
+            Average compressed size of one KV element (CacheGen's default
+            level is ~2-2.5 bits/element).
+        num_stored_versions:
+            Number of encoding levels stored (CacheGen stores several).
+        """
+        if num_stored_versions < 1:
+            raise ValueError("num_stored_versions must be at least 1")
+        bytes_per_version = model.kv_cache_bytes(num_tokens, compressed_bits_per_element)
+        stored_bytes = bytes_per_version * num_stored_versions
+        storage_monthly = self.storage_cost_per_month(stored_bytes)
+        recompute_per_request = self.recompute_cost_per_request(num_tokens)
+        breakeven = storage_monthly / recompute_per_request
+        return CostAnalysis(
+            storage_usd_per_month=storage_monthly,
+            recompute_usd_per_request=recompute_per_request,
+            breakeven_requests_per_month=breakeven,
+        )

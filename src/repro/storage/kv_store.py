@@ -1,0 +1,117 @@
+"""KV cache storage: the ``store_kv`` / ``get_kv`` interfaces of §6.
+
+CacheGen keeps, per context, a dictionary mapping chunk ids to the encoded
+bitstreams of the chunk's K and V tensors at every encoding level.  The store
+lives on a (remote) storage server; the streamer calls ``get_kv`` to fetch a
+chunk's bitstream at a chosen level.  This module implements an in-memory
+store with byte accounting, which is what the latency and storage-cost models
+need; persisting the same structure to disk or an object store is a
+straightforward extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..core.encoder import CacheGenEncoder, EncodedKV
+from ..core.kv_cache import KVCache
+from ..streaming.chunking import PreparedChunk, prepare_chunks
+
+__all__ = ["StoredContext", "KVCacheStore"]
+
+
+@dataclass
+class StoredContext:
+    """All stored representations of one context."""
+
+    context_id: str
+    model_name: str
+    num_tokens: int
+    chunks: list[PreparedChunk] = field(default_factory=list)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+    def total_bytes(self, level_name: str | None = None) -> float:
+        """Stored bytes — for one level, or for all levels when ``None``."""
+        total = 0.0
+        for chunk in self.chunks:
+            if level_name is None:
+                total += sum(enc.compressed_bytes for enc in chunk.encodings.values())
+            else:
+                total += chunk.bytes_for_level(level_name)
+        return total
+
+
+class KVCacheStore:
+    """In-memory KV cache store exposing ``store_kv`` and ``get_kv``.
+
+    Parameters
+    ----------
+    encoder:
+        Fitted CacheGen encoder used by ``store_kv`` to chunk and encode
+        contexts at every level.
+    """
+
+    def __init__(self, encoder: CacheGenEncoder) -> None:
+        self.encoder = encoder
+        self._contexts: dict[str, StoredContext] = {}
+
+    # ------------------------------------------------------------------ writes
+    def store_kv(self, context_id: str, kv: KVCache) -> StoredContext:
+        """Encode a context's KV cache into per-chunk bitstreams and store them.
+
+        Mirrors the paper's ``store_kv(LLM) -> {chunk_id: encoded_KV}``: the
+        KV cache is split into context chunks and each chunk is encoded at
+        every encoding level.
+        """
+        stored = StoredContext(
+            context_id=context_id,
+            model_name=kv.model_name,
+            num_tokens=kv.num_tokens,
+            chunks=prepare_chunks(kv, self.encoder),
+        )
+        self._contexts[context_id] = stored
+        return stored
+
+    def evict(self, context_id: str) -> None:
+        """Remove a context from the store (no-op if absent)."""
+        self._contexts.pop(context_id, None)
+
+    # ------------------------------------------------------------------- reads
+    def __contains__(self, context_id: str) -> bool:
+        return context_id in self._contexts
+
+    def get_context(self, context_id: str) -> StoredContext:
+        try:
+            return self._contexts[context_id]
+        except KeyError:
+            raise KeyError(f"context {context_id!r} is not in the KV store") from None
+
+    def get_kv(self, context_id: str, chunk_id: int, level_name: str) -> EncodedKV:
+        """Fetch the encoded bitstream of one chunk at one encoding level."""
+        stored = self.get_context(context_id)
+        if not 0 <= chunk_id < stored.num_chunks:
+            raise IndexError(f"chunk {chunk_id} out of range for context {context_id!r}")
+        return stored.chunks[chunk_id].encodings[level_name]
+
+    def get_chunks(self, context_id: str) -> list[PreparedChunk]:
+        """All prepared chunks of a context (what the streamer consumes)."""
+        return list(self.get_context(context_id).chunks)
+
+    # --------------------------------------------------------------- accounting
+    def context_ids(self) -> Iterable[str]:
+        return self._contexts.keys()
+
+    def storage_bytes(self, per_level: bool = False) -> float | Mapping[str, float]:
+        """Total stored bytes, optionally broken down by encoding level."""
+        if not per_level:
+            return sum(ctx.total_bytes() for ctx in self._contexts.values())
+        totals: dict[str, float] = {}
+        for ctx in self._contexts.values():
+            for chunk in ctx.chunks:
+                for name, encoded in chunk.encodings.items():
+                    totals[name] = totals.get(name, 0.0) + encoded.compressed_bytes
+        return totals

@@ -1,0 +1,115 @@
+"""Context chunking and offline per-chunk encoding.
+
+CacheGen splits a context into chunks of consecutive tokens (1.5K tokens by
+default) and, offline, encodes each chunk's KV at every encoding level so that
+the streamer can later pick a per-chunk configuration: one of the encoding
+levels, or the raw text of the chunk (to be recomputed by the LLM).  Chunks
+are encoded independently, so chunks sent at different levels can be decoded
+independently and concatenated (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.encoder import CacheGenEncoder, EncodedKV
+from ..core.kv_cache import KVCache
+
+__all__ = ["ContextChunk", "PreparedChunk", "split_context", "prepare_chunks"]
+
+
+@dataclass
+class ContextChunk:
+    """One chunk of consecutive context tokens and its KV slice."""
+
+    index: int
+    token_start: int
+    token_end: int
+    kv: KVCache
+
+    @property
+    def num_tokens(self) -> int:
+        return self.token_end - self.token_start
+
+
+@dataclass
+class PreparedChunk:
+    """A context chunk encoded at every level, ready for streaming.
+
+    Attributes
+    ----------
+    chunk:
+        The underlying chunk (with its lossless KV slice, used both as the
+        decode reference and as the result of the text/recompute fallback).
+    encodings:
+        Mapping from encoding level name to the encoded bitstream.
+    text_bytes:
+        Size of the chunk in text form, for the recompute fallback.
+    """
+
+    chunk: ContextChunk
+    encodings: Mapping[str, EncodedKV]
+    text_bytes: int
+
+    @property
+    def index(self) -> int:
+        return self.chunk.index
+
+    @property
+    def num_tokens(self) -> int:
+        return self.chunk.num_tokens
+
+    def bytes_for_level(self, level_name: str) -> float:
+        """Compressed bytes of this chunk at a given level."""
+        return self.encodings[level_name].compressed_bytes
+
+    def level_names(self) -> list[str]:
+        return list(self.encodings)
+
+
+def split_context(kv: KVCache, chunk_tokens: int) -> list[ContextChunk]:
+    """Split a context's KV cache into chunks of ``chunk_tokens`` tokens."""
+    if chunk_tokens <= 0:
+        raise ValueError("chunk_tokens must be positive")
+    chunks = []
+    for index, start in enumerate(range(0, kv.num_tokens, chunk_tokens)):
+        end = min(start + chunk_tokens, kv.num_tokens)
+        chunks.append(
+            ContextChunk(index=index, token_start=start, token_end=end, kv=kv.slice_tokens(start, end))
+        )
+    return chunks
+
+
+def prepare_chunks(
+    kv: KVCache,
+    encoder: CacheGenEncoder,
+    text_bytes_per_token: float | None = None,
+) -> list[PreparedChunk]:
+    """Offline preparation: chunk a context and encode every chunk at every level.
+
+    Parameters
+    ----------
+    kv:
+        The full context's KV cache (produced once by ``calculate_kv``).
+    encoder:
+        A fitted :class:`CacheGenEncoder`; its configuration supplies the
+        chunk length and the set of encoding levels.
+    text_bytes_per_token:
+        Size of the text fallback per token; defaults to the encoder config.
+    """
+    cfg = encoder.config
+    bytes_per_token = (
+        text_bytes_per_token if text_bytes_per_token is not None else cfg.text_bytes_per_token
+    )
+    prepared = []
+    for chunk in split_context(kv, cfg.chunk_tokens):
+        encodings = encoder.encode_all_levels(chunk.kv)
+        prepared.append(
+            PreparedChunk(
+                chunk=chunk,
+                encodings=encodings,
+                text_bytes=int(round(chunk.num_tokens * bytes_per_token)),
+            )
+        )
+    return prepared

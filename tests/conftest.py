@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are session-scoped where construction is expensive (synthetic KV
+generation, encoder profiling) so the several hundred tests stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CacheGenConfig, CacheGenDecoder, CacheGenEncoder, KVCache
+from repro.llm import MISTRAL_7B, ComputeModel, QualityModel, SyntheticLLM
+from repro.network import ConstantTrace, NetworkLink, gbps
+
+#: Context length used by most tests — small enough to be fast, large enough
+#: to span several anchor groups and more than one streaming chunk.
+TEST_TOKENS = 640
+
+
+@pytest.fixture(scope="session")
+def llm() -> SyntheticLLM:
+    return SyntheticLLM(MISTRAL_7B)
+
+
+@pytest.fixture(scope="session")
+def kv(llm: SyntheticLLM) -> KVCache:
+    return llm.calculate_kv("test-context", TEST_TOKENS)
+
+
+@pytest.fixture(scope="session")
+def sample_caches(llm: SyntheticLLM) -> list[KVCache]:
+    return [llm.calculate_kv(f"profile-{i}", 320) for i in range(2)]
+
+
+@pytest.fixture(scope="session")
+def small_config() -> CacheGenConfig:
+    # Chunks of 256 tokens so TEST_TOKENS spans three chunks.
+    return CacheGenConfig(chunk_tokens=256)
+
+
+@pytest.fixture(scope="session")
+def encoder(sample_caches: list[KVCache], small_config: CacheGenConfig) -> CacheGenEncoder:
+    return CacheGenEncoder(small_config).fit(sample_caches)
+
+
+@pytest.fixture(scope="session")
+def decoder(encoder: CacheGenEncoder) -> CacheGenDecoder:
+    return CacheGenDecoder(encoder)
+
+
+@pytest.fixture(scope="session")
+def compute_model() -> ComputeModel:
+    return ComputeModel(MISTRAL_7B)
+
+
+@pytest.fixture(scope="session")
+def quality_model() -> QualityModel:
+    return QualityModel(num_layers=MISTRAL_7B.sim_layers)
+
+
+@pytest.fixture()
+def fast_link() -> NetworkLink:
+    return NetworkLink(ConstantTrace(gbps(3.0)))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

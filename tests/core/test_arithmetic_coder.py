@@ -1,0 +1,121 @@
+"""Tests for the integer arithmetic coder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arithmetic_coder import (
+    ArithmeticDecoder,
+    ArithmeticEncoder,
+    decode_symbols,
+    encode_symbols,
+)
+
+
+def uniform_cum(alphabet: int) -> np.ndarray:
+    return np.arange(alphabet + 1, dtype=np.int64)
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        cum = np.array([0, 5, 9, 10])
+        symbols = [0, 1, 2, 0, 0, 1]
+        data = encode_symbols(symbols, cum)
+        np.testing.assert_array_equal(decode_symbols(data, len(symbols), cum), symbols)
+
+    def test_empty_sequence(self):
+        cum = uniform_cum(4)
+        data = encode_symbols([], cum)
+        assert decode_symbols(data, 0, cum).size == 0
+
+    def test_single_symbol(self):
+        cum = np.array([0, 1, 100])
+        data = encode_symbols([1], cum)
+        np.testing.assert_array_equal(decode_symbols(data, 1, cum), [1])
+
+    def test_long_skewed_sequence(self, rng):
+        cum = np.array([0, 900, 950, 990, 1000])
+        symbols = rng.choice(4, size=5000, p=[0.9, 0.05, 0.04, 0.01])
+        data = encode_symbols(symbols, cum)
+        np.testing.assert_array_equal(decode_symbols(data, len(symbols), cum), symbols)
+
+    def test_per_context_tables(self, rng):
+        cum = np.stack([np.array([0, 90, 95, 100]), np.array([0, 5, 10, 100])])
+        contexts = rng.integers(0, 2, size=2000)
+        symbols = np.where(contexts == 0, rng.choice(3, 2000, p=[0.9, 0.05, 0.05]),
+                           rng.choice(3, 2000, p=[0.05, 0.05, 0.9]))
+        data = encode_symbols(symbols, cum, contexts)
+        np.testing.assert_array_equal(decode_symbols(data, len(symbols), cum, contexts), symbols)
+
+
+class TestCompressionEfficiency:
+    def test_skewed_data_compresses_below_fixed_width(self, rng):
+        """Highly skewed symbols should take far fewer than 2 bits each."""
+        cum = np.array([0, 960, 980, 990, 1000])
+        symbols = rng.choice(4, size=8000, p=[0.96, 0.02, 0.01, 0.01])
+        data = encode_symbols(symbols, cum)
+        bits_per_symbol = len(data) * 8 / len(symbols)
+        assert bits_per_symbol < 0.5
+
+    def test_close_to_entropy(self, rng):
+        probs = np.array([0.5, 0.25, 0.125, 0.125])
+        entropy = -np.sum(probs * np.log2(probs))
+        cum = np.concatenate([[0], np.cumsum((probs * 1000).astype(np.int64))])
+        symbols = rng.choice(4, size=10_000, p=probs)
+        data = encode_symbols(symbols, cum)
+        bits_per_symbol = len(data) * 8 / len(symbols)
+        assert bits_per_symbol < entropy * 1.05 + 0.01
+
+    def test_uniform_data_near_log2(self, rng):
+        cum = uniform_cum(16)
+        symbols = rng.integers(0, 16, size=4000)
+        data = encode_symbols(symbols, cum)
+        assert len(data) * 8 / len(symbols) == pytest.approx(4.0, abs=0.1)
+
+
+class TestValidation:
+    def test_symbol_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_symbols([5], uniform_cum(4))
+
+    def test_context_out_of_range(self):
+        cum = np.stack([uniform_cum(4), uniform_cum(4)])
+        with pytest.raises(ValueError):
+            encode_symbols([0], cum, [3])
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            ArithmeticEncoder(np.array([0, 0, 5]))
+
+    def test_nonzero_start_rejected(self):
+        with pytest.raises(ValueError):
+            ArithmeticEncoder(np.array([1, 2, 5]))
+
+    def test_mismatched_context_length(self):
+        with pytest.raises(ValueError):
+            encode_symbols([0, 1], uniform_cum(4), [0])
+
+    def test_decoder_context_length_mismatch(self):
+        cum = uniform_cum(4)
+        data = encode_symbols([0, 1], cum)
+        with pytest.raises(ValueError):
+            ArithmeticDecoder(cum).decode(data, 2, [0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    alphabet=st.integers(2, 12),
+    length=st.integers(1, 400),
+)
+def test_roundtrip_property(seed, alphabet, length):
+    """Encoding then decoding recovers any symbol sequence exactly."""
+    rng = np.random.default_rng(seed)
+    freqs = rng.integers(1, 50, size=alphabet)
+    cum = np.concatenate([[0], np.cumsum(freqs)])
+    symbols = rng.integers(0, alphabet, size=length)
+    data = encode_symbols(symbols, cum)
+    np.testing.assert_array_equal(decode_symbols(data, length, cum), symbols)

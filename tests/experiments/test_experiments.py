@@ -1,0 +1,146 @@
+"""Tests for the experiment harness (run with tiny, fast settings).
+
+These are integration tests of the table/figure reproductions: they check the
+*shape* of each result — who wins, by roughly what factor, where crossovers
+fall — rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    run_appendix_e,
+    run_figure11,
+    run_figure12_concurrency,
+    run_figure12_context_length,
+    run_figure13,
+    run_figure14,
+    run_figure15,
+    run_figure16,
+    run_figure19,
+    run_figure5,
+    run_figure8,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.common import ExperimentResult
+
+
+def by_method(result, key="method"):
+    grouped = {}
+    for row in result.rows:
+        grouped.setdefault(row[key], []).append(row)
+    return grouped
+
+
+class TestHarnessBasics:
+    def test_registry_covers_every_artifact(self):
+        assert len(ALL_EXPERIMENTS) == 19
+
+    def test_experiment_result_helpers(self):
+        result = ExperimentResult(name="x", description="demo")
+        result.add_row(a=1, b=2.5)
+        result.add_row(a=2, b=3.5)
+        assert result.column("a") == [1, 2]
+        assert result.filter(a=2)[0]["b"] == 3.5
+        assert "demo" in result.format_table()
+
+
+class TestTables:
+    def test_table2_matches_paper(self):
+        result = run_table2()
+        rows = {row["dataset"]: row for row in result.rows}
+        assert rows["longchat"]["size"] == 200
+        assert abs(rows["longchat"]["median_tokens"] - 9_400) < 500
+        assert rows["wikitext"]["size"] == 62
+
+    def test_table1_ordering(self):
+        result = run_table1(num_contexts=1, context_token_cap=1_500)
+        rows = {row["technique"]: row for row in result.rows}
+        # CacheGen shrinks the cache by ~3x or more vs 8-bit quantization.
+        assert rows["quant-8bit"]["kv_size_mb"] / rows["cachegen"]["kv_size_mb"] > 2.5
+        # Composition shrinks H2O / LLMLingua further.
+        assert rows["cachegen+h2o"]["kv_size_mb"] < rows["h2o"]["kv_size_mb"] / 2.5
+        assert rows["cachegen+llmlingua"]["kv_size_mb"] < rows["llmlingua"]["kv_size_mb"] / 2.5
+        # Accuracy stays within a few percent.
+        assert rows["cachegen"]["accuracy"] > 0.95 * rows["quant-8bit"]["accuracy"]
+
+
+class TestFigures:
+    def test_figure5_grouping_order(self):
+        result = run_figure5(models=("llama-7b",), num_contexts=1, context_token_cap=1_200)
+        row = result.rows[0]
+        assert row["entropy_channel_layer"] < row["entropy_token"]
+
+    def test_figure8_speedups(self):
+        result = run_figure8(
+            pairs=(("mistral-7b", "longchat"),),
+            num_contexts=1,
+            quant_bits=(8,),
+            context_token_cap=2_000,
+        )
+        rows = by_method(result)
+        cachegen = rows["cachegen"][0]["ttft_s"]
+        assert rows["text"][0]["ttft_s"] / cachegen > 2.0
+        assert rows["quant-8bit"][0]["ttft_s"] / cachegen > 1.5
+
+    def test_figure11_cachegen_wins_at_low_bandwidth(self):
+        result = run_figure11(bandwidths_gbps=(1.0, 100.0), num_tokens=2_000)
+        rows = by_method(result)
+        low_bw = {m: r[0]["ttft_s"] for m, r in rows.items()}
+        assert low_bw["cachegen"] < low_bw["quant-8bit"]
+        assert low_bw["cachegen"] < low_bw["text"]
+
+    def test_figure12_concurrency_hurts_text_most(self):
+        result = run_figure12_concurrency(concurrency_levels=(1, 8), num_tokens=2_000)
+        rows = by_method(result)
+
+        def absolute_increase(method):
+            series = {r["concurrent_requests"]: r["ttft_s"] for r in rows[method]}
+            return series[8] - series[1]
+
+        # Prefill dominates the text path, so losing GPU cycles costs it far
+        # more absolute TTFT than it costs CacheGen.
+        assert absolute_increase("text") > 3 * absolute_increase("cachegen")
+
+    def test_figure12_short_context_reverts_to_text(self):
+        result = run_figure12_context_length(context_lengths=(100, 6_000))
+        rows = by_method(result)
+        short = {r["context_tokens"]: r["ttft_s"] for r in rows["cachegen"]}
+        text = {r["context_tokens"]: r["ttft_s"] for r in rows["text"]}
+        assert short[100] <= text[100] + 1e-9
+
+    def test_figure13_adaptation_lowers_violations(self):
+        result = run_figure13(
+            slos_s=(1.0,), num_traces=2, num_contexts=1, context_token_cap=3_000
+        )
+        rows = {row["method"]: row for row in result.rows}
+        assert rows["cachegen"]["violation_rate"] <= rows["quantization"]["violation_rate"]
+
+    def test_figure14_panels_present(self):
+        result = run_figure14(num_tokens=2_000)
+        panels = {row["panel"] for row in result.rows}
+        assert panels == {"ttft_breakdown", "flops", "offline_delay", "storage"}
+
+    def test_figure15_ac_reduces_size(self):
+        result = run_figure15(num_contexts=1, context_token_cap=1_200)
+        rows = {row["variant"]: row for row in result.rows}
+        assert rows["quant+ac"]["bits_per_element"] < rows["default-quant"]["bits_per_element"]
+        assert rows["cachegen"]["quality"] >= rows["quant+ac"]["quality"]
+
+    def test_figure16_cachegen_best_mos(self):
+        result = run_figure16(num_samples=1, context_token_cap=2_000, bandwidth_gbps=0.8)
+        rows = by_method(result, key="pipeline")
+        assert rows["cachegen"][0]["mos"] >= rows["quantization"][0]["mos"]
+        assert rows["cachegen"][0]["mos"] >= rows["original"][0]["mos"]
+
+    def test_figure19_improvement_positive(self):
+        result = run_figure19(bandwidths_gbps=(3.0,), concurrency_levels=(1, 4), num_tokens=2_000)
+        assert all(row["improvement"] > 1.0 for row in result.rows)
+
+    def test_appendix_e_breakeven(self):
+        result = run_appendix_e()
+        assert result.metadata["breakeven_requests_per_month"] < 500
+        assert result.filter(requests_per_month=1_000)[0]["caching_is_cheaper"]

@@ -1,0 +1,106 @@
+"""Tests for the synthetic LLM substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.delta import consecutive_delta_variance_ratio
+from repro.llm import LLAMA_7B, MISTRAL_7B, SyntheticLLM
+
+
+class TestCalculateKV:
+    def test_shapes(self, llm, kv):
+        cfg = llm.config
+        assert kv.shape == (cfg.sim_layers, 640, cfg.sim_channels)
+        assert kv.full_layers == cfg.num_layers
+        assert kv.full_channels == cfg.kv_channels
+
+    def test_deterministic(self, llm):
+        a = llm.calculate_kv("ctx", 100)
+        b = llm.calculate_kv("ctx", 100)
+        np.testing.assert_array_equal(a.k, b.k)
+
+    def test_different_contexts_differ(self, llm):
+        a = llm.calculate_kv("ctx-a", 100)
+        b = llm.calculate_kv("ctx-b", 100)
+        assert not np.array_equal(a.k, b.k)
+
+    def test_channel_structure_shared_across_contexts(self, llm):
+        """Per-channel scales are a model property, not a context property."""
+        a = llm.calculate_kv("ctx-a", 400)
+        b = llm.calculate_kv("ctx-b", 400)
+        corr = np.corrcoef(a.k.std(axis=1).ravel(), b.k.std(axis=1).ravel())[0, 1]
+        assert corr > 0.9
+
+    def test_invalid_tokens(self, llm):
+        with pytest.raises(ValueError):
+            llm.calculate_kv("ctx", 0)
+
+    def test_invalid_correlation(self):
+        with pytest.raises(ValueError):
+            SyntheticLLM(MISTRAL_7B, token_correlation=1.5)
+
+    def test_accepts_model_name(self):
+        llm = SyntheticLLM("llama-7b")
+        assert llm.config is LLAMA_7B
+
+
+class TestStatisticalProperties:
+    def test_insight1_consecutive_delta_ratio(self, kv):
+        assert 2.2 < consecutive_delta_variance_ratio(kv.k) < 3.2
+
+    def test_stationary_variance_across_positions(self, llm):
+        """Early tokens must not have systematically lower variance."""
+        kv = llm.calculate_kv("stationarity", 1000)
+        early = kv.k[:, :100, :].var()
+        late = kv.k[:, -100:, :].var()
+        assert 0.6 < early / late < 1.6
+
+    def test_channel_heterogeneity(self, kv):
+        """Channel scales must vary widely (Insight 3 prerequisite)."""
+        stds = kv.k.std(axis=1)  # (layers, channels)
+        ratio = np.percentile(stds, 95) / np.percentile(stds, 5)
+        assert ratio > 3.0
+
+    def test_attention_scores_sum_to_one(self, llm):
+        scores = llm.attention_scores("ctx", 500)
+        assert scores.shape == (500,)
+        assert scores.sum() == pytest.approx(1.0)
+        assert np.all(scores >= 0)
+
+    def test_attention_scores_heavy_tailed(self, llm):
+        scores = np.sort(llm.attention_scores("ctx", 1000))[::-1]
+        assert scores[:100].sum() > 0.5
+
+    def test_attention_invalid_tokens(self, llm):
+        with pytest.raises(ValueError):
+            llm.attention_scores("ctx", 0)
+
+
+class TestGenerateWithKV:
+    def test_lossless_cache_full_quality(self, llm, kv):
+        result = llm.generate_with_kv(kv, reference_kv=kv)
+        assert result.quality.relative_quality == pytest.approx(1.0)
+        assert result.text
+
+    def test_lossy_cache_lower_quality(self, llm, kv):
+        noisy = kv.copy()
+        noisy.k += 0.5 * kv.k.std()
+        result = llm.generate_with_kv(noisy, reference_kv=kv)
+        assert result.quality.relative_quality < 0.9
+
+    def test_token_dropping_penalty(self, llm, kv):
+        result = llm.generate_with_kv(
+            kv, reference_kv=kv, token_keep_fraction=0.5, important_token_coverage=0.7
+        )
+        assert result.quality.relative_quality < 1.0
+
+    def test_no_reference_means_lossless(self, llm, kv):
+        result = llm.generate_with_kv(kv)
+        assert result.quality.relative_quality == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("task", ["qa_accuracy", "qa_f1", "perplexity"])
+    def test_all_tasks_supported(self, llm, kv, task):
+        result = llm.generate_with_kv(kv, reference_kv=kv, task=task)
+        assert result.quality.task == task

@@ -1,0 +1,93 @@
+"""Tests for the tokenizer and the attention-based token selection helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm import SyntheticTokenizer, coverage_of, select_heavy_hitters, select_uniform
+
+
+class TestTokenizer:
+    def test_tokenize_counts_words_and_punctuation(self):
+        tok = SyntheticTokenizer()
+        result = tok.tokenize("Hello, world! This is CacheGen.")
+        assert len(result) == 8
+
+    def test_deterministic_ids(self):
+        tok = SyntheticTokenizer()
+        assert tok.tokenize("hello world").token_ids == tok.tokenize("hello world").token_ids
+
+    def test_ids_within_vocab(self):
+        tok = SyntheticTokenizer(vocab_size=100)
+        ids = tok.tokenize("some words to hash into a small vocabulary").token_ids
+        assert all(0 <= i < 100 for i in ids)
+
+    def test_count_tokens_matches_tokenize(self):
+        tok = SyntheticTokenizer()
+        text = "A reasonably long sentence, with punctuation."
+        assert tok.count_tokens(text) == len(tok.tokenize(text))
+
+    def test_detokenize_joins(self):
+        tok = SyntheticTokenizer()
+        result = tok.tokenize("hello world")
+        assert tok.detokenize(result.tokens) == "hello world"
+
+    def test_text_bytes_for_tokens(self):
+        tok = SyntheticTokenizer()
+        assert tok.text_bytes_for_tokens(1000) == 4500
+        with pytest.raises(ValueError):
+            tok.text_bytes_for_tokens(-1)
+
+    def test_small_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTokenizer(vocab_size=1)
+
+
+class TestTokenSelection:
+    @pytest.fixture()
+    def scores(self, rng):
+        return rng.pareto(1.0, size=1000) + 0.01
+
+    def test_heavy_hitters_respect_budget(self, scores):
+        selection = select_heavy_hitters(scores, keep_fraction=0.3)
+        assert selection.num_kept == pytest.approx(300, abs=2)
+        assert selection.keep_fraction == pytest.approx(0.3, abs=0.01)
+
+    def test_heavy_hitters_cover_more_than_uniform(self, scores):
+        heavy = select_heavy_hitters(scores, keep_fraction=0.3)
+        uniform = select_uniform(scores, keep_fraction=0.3, seed=1)
+        assert heavy.attention_coverage > uniform.attention_coverage
+
+    def test_heavy_hitters_include_recent_tokens(self, scores):
+        selection = select_heavy_hitters(scores, keep_fraction=0.2, recent_window_fraction=0.5)
+        recent = np.arange(len(scores) - 10, len(scores))
+        assert np.isin(recent, selection.kept_positions).all()
+
+    def test_positions_sorted_and_unique(self, scores):
+        selection = select_heavy_hitters(scores, keep_fraction=0.4)
+        positions = selection.kept_positions
+        assert np.all(np.diff(positions) > 0)
+
+    def test_uniform_coverage_close_to_keep_fraction(self, rng):
+        scores = rng.uniform(0.5, 1.5, size=5000)
+        selection = select_uniform(scores, keep_fraction=0.5, seed=3)
+        assert selection.attention_coverage == pytest.approx(0.5, abs=0.05)
+
+    def test_keep_everything(self, scores):
+        selection = select_heavy_hitters(scores, keep_fraction=1.0)
+        assert selection.num_kept == len(scores)
+        assert selection.attention_coverage == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_invalid_fraction(self, scores, fraction):
+        with pytest.raises(ValueError):
+            select_heavy_hitters(scores, fraction)
+
+    def test_negative_scores_rejected(self):
+        with pytest.raises(ValueError):
+            select_heavy_hitters(np.array([-1.0, 2.0]), 0.5)
+
+    def test_coverage_of(self):
+        scores = np.array([1.0, 2.0, 3.0, 4.0])
+        assert coverage_of(scores, np.array([2, 3])) == pytest.approx(0.7)

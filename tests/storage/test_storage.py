@@ -1,0 +1,98 @@
+"""Tests for the KV cache store and the storage/recompute cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm import LLAMA_13B
+from repro.storage import CostModel, KVCacheStore, PricingModel
+
+
+@pytest.fixture(scope="module")
+def store(encoder, kv):
+    store = KVCacheStore(encoder)
+    store.store_kv("ctx-1", kv)
+    return store
+
+
+class TestKVCacheStore:
+    def test_store_and_membership(self, store):
+        assert "ctx-1" in store
+        assert "ctx-2" not in store
+
+    def test_stored_context_metadata(self, store, kv, encoder):
+        stored = store.get_context("ctx-1")
+        assert stored.num_tokens == kv.num_tokens
+        expected_chunks = -(-kv.num_tokens // encoder.config.chunk_tokens)
+        assert stored.num_chunks == expected_chunks
+
+    def test_get_kv_returns_encoded_chunk(self, store):
+        encoded = store.get_kv("ctx-1", 0, "medium")
+        assert encoded.level.name == "medium"
+        assert encoded.compressed_bytes > 0
+
+    def test_get_kv_bad_chunk(self, store):
+        with pytest.raises(IndexError):
+            store.get_kv("ctx-1", 99, "medium")
+
+    def test_get_unknown_context(self, store):
+        with pytest.raises(KeyError):
+            store.get_context("nope")
+
+    def test_total_bytes_per_level_smaller_than_all(self, store):
+        stored = store.get_context("ctx-1")
+        assert stored.total_bytes("medium") < stored.total_bytes()
+
+    def test_storage_bytes_breakdown(self, store):
+        per_level = store.storage_bytes(per_level=True)
+        assert set(per_level) == {"high", "medium", "low", "lowest"}
+        assert store.storage_bytes() == pytest.approx(sum(per_level.values()))
+
+    def test_evict(self, encoder, kv):
+        store = KVCacheStore(encoder)
+        store.store_kv("temp", kv)
+        store.evict("temp")
+        assert "temp" not in store
+        store.evict("temp")  # idempotent
+
+
+class TestCostModel:
+    def test_storage_cost_linear(self):
+        model = CostModel()
+        assert model.storage_cost_per_month(2e9) == pytest.approx(
+            2 * model.pricing.storage_usd_per_gb_month
+        )
+
+    def test_recompute_cost_linear(self):
+        model = CostModel()
+        assert model.recompute_cost_per_request(2000) == pytest.approx(
+            2 * model.pricing.inference_usd_per_1k_input_tokens
+        )
+
+    def test_appendix_e_breakeven_scale(self):
+        """Appendix E: breakeven around ~100-200 reuses per month."""
+        analysis = CostModel().analyse(LLAMA_13B, 8_500, 2.4, num_stored_versions=4)
+        assert 30 < analysis.breakeven_requests_per_month < 500
+        assert analysis.storing_is_cheaper(1_000)
+        assert not analysis.storing_is_cheaper(1)
+
+    def test_more_versions_cost_more(self):
+        model = CostModel()
+        one = model.analyse(LLAMA_13B, 8_500, 2.4, num_stored_versions=1)
+        four = model.analyse(LLAMA_13B, 8_500, 2.4, num_stored_versions=4)
+        assert four.storage_usd_per_month == pytest.approx(4 * one.storage_usd_per_month)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"storage_usd_per_gb_month": 0.0},
+        {"inference_usd_per_1k_input_tokens": -1.0},
+    ])
+    def test_invalid_pricing(self, kwargs):
+        with pytest.raises(ValueError):
+            PricingModel(**kwargs)
+
+    def test_invalid_inputs(self):
+        model = CostModel()
+        with pytest.raises(ValueError):
+            model.storage_cost_per_month(-1)
+        with pytest.raises(ValueError):
+            model.analyse(LLAMA_13B, 1000, 2.4, num_stored_versions=0)
