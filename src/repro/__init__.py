@@ -15,8 +15,11 @@ Public entry points
 * :class:`repro.streaming.KVStreamer` — SLO-aware streaming of encoded chunks.
 * :mod:`repro.baselines` — every method the paper compares against.
 * :mod:`repro.experiments` — one module per table/figure of the evaluation.
+* :mod:`repro.cluster` — sharded, replicated, capacity-bounded KV-cache
+  cluster with a multi-tenant serving frontend and workload simulator.
 """
 
+from .cluster import ClusterFrontend, ClusterSimulator, WorkloadGenerator
 from .core import CacheGenConfig, CacheGenDecoder, CacheGenEncoder, EncodingLevel, KVCache
 from .llm import ComputeModel, ModelConfig, QualityModel, SyntheticLLM, get_model_config
 from .network import ConstantTrace, NetworkLink, RandomTrace, StepTrace, gbps
@@ -29,6 +32,8 @@ __all__ = [
     "CacheGenConfig",
     "CacheGenDecoder",
     "CacheGenEncoder",
+    "ClusterFrontend",
+    "ClusterSimulator",
     "ComputeModel",
     "ConstantTrace",
     "ContextLoadingEngine",
@@ -42,6 +47,7 @@ __all__ = [
     "SLOAwareAdapter",
     "StepTrace",
     "SyntheticLLM",
+    "WorkloadGenerator",
     "__version__",
     "gbps",
     "get_model_config",

@@ -1,0 +1,39 @@
+"""Distributed KV-cache cluster: sharded, replicated, capacity-bounded serving.
+
+The single-node serving stack (one :class:`~repro.storage.KVCacheStore`, one
+:class:`~repro.network.NetworkLink`, one
+:class:`~repro.serving.ContextLoadingEngine`) reproduces the paper's testbed;
+this package scales it out:
+
+* :class:`ConsistentHashRing` — directory-free context placement;
+* :class:`StorageNode` — a capacity-bounded store plus its own link and stats;
+* :class:`ShardedKVStore` — replicated placement with failover lookup;
+* :class:`ClusterFrontend` — the engine extended with cluster routing and a
+  text fallback on full cluster miss;
+* :class:`WorkloadGenerator` / :class:`ClusterSimulator` — Zipf/Poisson
+  multi-tenant workloads and cluster-level reporting (per-node hit ratios,
+  evictions, TTFT percentiles, SLO attainment).
+"""
+
+from .frontend import ClusterFrontend, ClusterIngestReport, ClusterQueryResponse
+from .hash_ring import ConsistentHashRing
+from .node import StorageNode
+from .sharded_store import Lookup, Placement, ShardedKVStore
+from .simulator import ClusterReport, ClusterSimulator, RequestRecord
+from .workload import Request, WorkloadGenerator
+
+__all__ = [
+    "ClusterFrontend",
+    "ClusterIngestReport",
+    "ClusterQueryResponse",
+    "ClusterReport",
+    "ClusterSimulator",
+    "ConsistentHashRing",
+    "Lookup",
+    "Placement",
+    "Request",
+    "RequestRecord",
+    "ShardedKVStore",
+    "StorageNode",
+    "WorkloadGenerator",
+]

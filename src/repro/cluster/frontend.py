@@ -1,0 +1,213 @@
+"""Multi-tenant cluster serving frontend.
+
+:class:`ClusterFrontend` extends the single-node
+:class:`~repro.serving.ContextLoadingEngine` with cluster routing: ingests are
+encoded once and replicated onto the sharded store, and queries stream the KV
+bitstreams from the replica node's own (possibly heterogeneous) link.  When a
+replica is down the lookup fails over along the hash ring; when every replica
+has lost the context the frontend falls back to the text path, so a degraded
+cluster degrades TTFT, never availability.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, fields
+from typing import Callable, Mapping, Sequence
+
+from ..core.config import CacheGenConfig
+from ..llm.compute_model import A40, GPUSpec
+from ..llm.model_config import ModelConfig
+from ..network.link import NetworkLink
+from ..serving.engine import ContextLoadingEngine
+from ..serving.pipeline import IngestReport, QueryResponse
+from ..storage.eviction import EvictionPolicy, make_policy
+from ..storage.kv_store import KVCacheStore
+from .node import StorageNode
+from .sharded_store import ShardedKVStore
+
+__all__ = ["ClusterIngestReport", "ClusterQueryResponse", "ClusterFrontend"]
+
+
+@dataclass(frozen=True)
+class ClusterIngestReport(IngestReport):
+    """Ingest report extended with where the replicas landed."""
+
+    replica_node_ids: tuple[str, ...] = ()
+    replicated_bytes: float = 0.0
+
+
+@dataclass
+class ClusterQueryResponse(QueryResponse):
+    """Query response extended with cluster routing information."""
+
+    served_by: str | None = None
+    failed_over: bool = False
+    attempted_node_ids: tuple[str, ...] = ()
+
+
+def _as_cluster_response(
+    response: QueryResponse,
+    served_by: str | None,
+    failed_over: bool = False,
+    attempted: tuple[str, ...] = (),
+) -> ClusterQueryResponse:
+    base = {f.name: getattr(response, f.name) for f in fields(QueryResponse)}
+    return ClusterQueryResponse(
+        **base,
+        served_by=served_by,
+        failed_over=failed_over,
+        attempted_node_ids=attempted,
+    )
+
+
+class ClusterFrontend(ContextLoadingEngine):
+    """Routes a multi-tenant query stream over a sharded KV-cache cluster.
+
+    Parameters
+    ----------
+    model:
+        Serving model (name or :class:`ModelConfig`).
+    node_links:
+        Either the number of storage nodes (each on a default 3 Gbps link) or
+        one :class:`NetworkLink` per node for heterogeneous clusters.
+    replication_factor:
+        Replicas per context.
+    max_bytes_per_node:
+        Capacity budget of each node's store; ``None`` means unbounded.
+    eviction_policy:
+        Policy name (``"lru"``, ``"lfu"``, ``"cost"``) or a factory returning a
+        fresh :class:`EvictionPolicy` per node (policies hold per-node state
+        and must not be shared).
+    text_link:
+        Link to the document store used by the text fallback; defaults to a
+        fresh 3 Gbps link.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig | str,
+        node_links: int | Sequence[NetworkLink] = 4,
+        replication_factor: int = 2,
+        max_bytes_per_node: float | None = None,
+        eviction_policy: str | Callable[[], EvictionPolicy] = "lru",
+        config: CacheGenConfig | None = None,
+        gpu: GPUSpec = A40,
+        base_quality: dict[str, float] | None = None,
+        text_link: NetworkLink | None = None,
+        vnodes: int = 64,
+    ) -> None:
+        super().__init__(
+            model, link=text_link, config=config, gpu=gpu, base_quality=base_quality
+        )
+        if isinstance(node_links, int):
+            if node_links <= 0:
+                raise ValueError("node_links must name at least one node")
+            links: list[NetworkLink] = [NetworkLink() for _ in range(node_links)]
+        else:
+            links = list(node_links)
+            if not links:
+                raise ValueError("node_links must name at least one node")
+        nodes = [
+            StorageNode(
+                node_id=f"node-{i}",
+                store=KVCacheStore(
+                    self.encoder,
+                    max_bytes=max_bytes_per_node,
+                    eviction_policy=self._new_policy(eviction_policy),
+                ),
+                link=link,
+            )
+            for i, link in enumerate(links)
+        ]
+        self.cluster = ShardedKVStore(
+            self.encoder, nodes, replication_factor=replication_factor, vnodes=vnodes
+        )
+
+    @staticmethod
+    def _new_policy(eviction_policy: str | Callable[[], EvictionPolicy]) -> EvictionPolicy:
+        if isinstance(eviction_policy, str):
+            return make_policy(eviction_policy)
+        return eviction_policy()
+
+    # ----------------------------------------------------------------- topology
+    @property
+    def nodes(self) -> Mapping[str, StorageNode]:
+        return self.cluster.nodes
+
+    def mark_down(self, node_id: str) -> None:
+        self.cluster.mark_down(node_id)
+
+    def mark_up(self, node_id: str) -> None:
+        self.cluster.mark_up(node_id)
+
+    # ------------------------------------------------------------------ ingest
+    def ingest(self, context_id: str, num_tokens: int) -> ClusterIngestReport:
+        """Prefill and encode a context once, then replicate the bitstreams."""
+        start = time.perf_counter()
+        kv = self._reference_kv(context_id, num_tokens)
+        placement = self.cluster.store_kv(context_id, kv)
+        per_level: dict[str, float] = {}
+        for chunk in placement.stored.chunks:
+            for level_name, encoded in chunk.encodings.items():
+                per_level[level_name] = per_level.get(level_name, 0.0) + encoded.compressed_bytes
+        return ClusterIngestReport(
+            context_id=context_id,
+            num_tokens=num_tokens,
+            num_chunks=placement.stored.num_chunks,
+            stored_bytes_per_level=per_level,
+            encode_delay_s=time.perf_counter() - start,
+            replica_node_ids=placement.replica_node_ids,
+            replicated_bytes=placement.replicated_bytes,
+        )
+
+    # ------------------------------------------------------------------- query
+    def query(
+        self,
+        context_id: str,
+        question: str,
+        num_tokens: int | None = None,
+        task: str = "qa_accuracy",
+        slo_s: float | None = None,
+    ) -> ClusterQueryResponse:
+        """Serve a query from the best live replica, else from text.
+
+        ``num_tokens`` is only required for contexts the cluster has never
+        ingested; lengths of evicted contexts are remembered.
+        """
+        parts = self._parts
+        prompt_tokens = max(parts.llm.tokenizer.count_tokens(question), 1)
+
+        lookup = self.cluster.locate(context_id)
+        if lookup.found:
+            node, stored = lookup.node, lookup.stored
+            assert node is not None and stored is not None
+            if not self._prefer_text_path(
+                stored.num_tokens, kv_link=node.link, text_link=self.link
+            ):
+                response = self._query_with_kv(
+                    stored, question, prompt_tokens, task, slo_s, link=node.link
+                )
+                node.record_hit(response.transmitted_bytes)
+                return _as_cluster_response(
+                    response,
+                    served_by=node.node_id,
+                    failed_over=lookup.failed_over,
+                    attempted=lookup.attempted_node_ids,
+                )
+            # Short context: the text path wins even though the replica holds
+            # the cache — not a miss, the node just is not asked to serve.
+            num_tokens = stored.num_tokens
+
+        if num_tokens is None:
+            num_tokens = self.cluster.known_tokens(context_id)
+        if num_tokens is None:
+            raise ValueError(
+                "num_tokens is required for contexts that have not been ingested"
+            )
+        response = self._query_with_text(
+            context_id, question, num_tokens, prompt_tokens, task
+        )
+        return _as_cluster_response(
+            response, served_by=None, attempted=lookup.attempted_node_ids
+        )

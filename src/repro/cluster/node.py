@@ -1,0 +1,86 @@
+"""One storage node of the KV-cache cluster.
+
+A node bundles the three things the cluster layers need to reason about
+per-node behaviour: a capacity-bounded :class:`~repro.storage.KVCacheStore`,
+the :class:`~repro.network.NetworkLink` between this node and the GPU server
+(links may be heterogeneous — a near node on a 10 Gbps LAN, a far one behind a
+congested WAN), and liveness plus serving statistics.
+"""
+
+from __future__ import annotations
+
+from ..metrics.cluster import NodeSummary
+from ..network.link import NetworkLink
+from ..storage.kv_store import KVCacheStore
+
+__all__ = ["StorageNode"]
+
+
+class StorageNode:
+    """A storage server in the cluster.
+
+    Parameters
+    ----------
+    node_id:
+        Stable identifier used for hash-ring placement.
+    store:
+        The node's capacity-bounded KV cache store.
+    link:
+        Network link from this node to the GPU server.  Defaults to the
+        3 Gbps constant link the paper's headline evaluation uses.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        store: KVCacheStore,
+        link: NetworkLink | None = None,
+    ) -> None:
+        if not node_id:
+            raise ValueError("node_id must be non-empty")
+        self.node_id = node_id
+        self.store = store
+        self.link = link or NetworkLink()
+        self.up = True
+        self.requests_routed = 0
+        self.hits = 0
+        self.bytes_served = 0.0
+
+    # ---------------------------------------------------------------- liveness
+    def mark_down(self) -> None:
+        """Take the node out of service (its contents stay, like a reboot)."""
+        self.up = False
+
+    def mark_up(self) -> None:
+        self.up = True
+
+    # -------------------------------------------------------------- accounting
+    def record_hit(self, num_bytes: float) -> None:
+        """A query was served from this node's cache."""
+        self.requests_routed += 1
+        self.hits += 1
+        self.bytes_served += num_bytes
+
+    def record_miss(self) -> None:
+        """A query was routed here but the context was not resident."""
+        self.requests_routed += 1
+
+    @property
+    def eviction_count(self) -> int:
+        return self.store.eviction_count
+
+    def summary(self) -> NodeSummary:
+        return NodeSummary(
+            node_id=self.node_id,
+            requests_routed=self.requests_routed,
+            hits=self.hits,
+            evictions=self.eviction_count,
+            bytes_served=self.bytes_served,
+            stored_bytes=float(self.store.storage_bytes()),
+            contexts_resident=len(self.store),
+            up=self.up,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "up" if self.up else "down"
+        return f"StorageNode({self.node_id!r}, {state}, {len(self.store)} contexts)"

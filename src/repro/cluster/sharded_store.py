@@ -1,0 +1,267 @@
+"""Sharded, replicated KV cache storage over many nodes.
+
+:class:`ShardedKVStore` is the cluster-scale sibling of the single-node
+:class:`~repro.storage.KVCacheStore`: contexts are placed on ``replication_factor``
+nodes chosen by a consistent-hash ring, each node bounds its own capacity with
+an eviction policy, and lookups fail over along the ring's preference order
+when a replica is down or has evicted the context.
+
+The encode cost is paid once per ingest: the context is chunked and encoded a
+single time and the resulting :class:`~repro.storage.StoredContext` is shared
+by every replica (replicas ship bitstreams, they do not re-encode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.encoder import CacheGenEncoder
+from ..core.kv_cache import KVCache
+from ..storage.kv_store import CapacityError, StoredContext
+from ..streaming.chunking import prepare_chunks
+from .hash_ring import ConsistentHashRing
+from .node import StorageNode
+
+__all__ = ["Placement", "Lookup", "ShardedKVStore"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one ingest landed."""
+
+    context_id: str
+    stored: StoredContext
+    replica_node_ids: tuple[str, ...]
+    skipped_node_ids: tuple[str, ...] = ()
+
+    @property
+    def bytes_per_replica(self) -> float:
+        return self.stored.total_bytes()
+
+    @property
+    def replicated_bytes(self) -> float:
+        """Bytes shipped to storage nodes for this ingest (all replicas)."""
+        return self.bytes_per_replica * len(self.replica_node_ids)
+
+
+@dataclass(frozen=True)
+class Lookup:
+    """Outcome of locating a context's serving replica."""
+
+    node: StorageNode | None
+    stored: StoredContext | None
+    attempted_node_ids: tuple[str, ...] = ()
+
+    @property
+    def found(self) -> bool:
+        return self.node is not None
+
+    @property
+    def failed_over(self) -> bool:
+        """Whether the serving replica was not the first-choice node."""
+        return self.found and len(self.attempted_node_ids) > 0
+
+
+@dataclass
+class ClusterStats:
+    """Running counters over the whole cluster."""
+
+    ingests: int = 0
+    replicas_written: int = 0
+    replication_bytes: float = 0.0
+    lookups: int = 0
+    lookup_hits: int = 0
+    failovers: int = 0
+    full_misses: int = 0
+    skipped_replicas: int = 0
+    #: Lookups located at each node (the node *held* the context; whether the
+    #: frontend then served from it is the node's own hits counter).
+    per_node_locates: dict[str, int] = field(default_factory=dict)
+
+
+class ShardedKVStore:
+    """Places encoded contexts on a ring of capacity-bounded storage nodes.
+
+    Parameters
+    ----------
+    encoder:
+        Fitted CacheGen encoder (shared with the serving engine).
+    nodes:
+        The cluster's storage nodes.  Node ids must be unique.
+    replication_factor:
+        Number of replicas per context (capped at the node count).
+    vnodes:
+        Virtual points per node on the placement ring.
+    """
+
+    def __init__(
+        self,
+        encoder: CacheGenEncoder,
+        nodes: Sequence[StorageNode],
+        replication_factor: int = 2,
+        vnodes: int = 64,
+    ) -> None:
+        if not nodes:
+            raise ValueError("a cluster needs at least one storage node")
+        if replication_factor <= 0:
+            raise ValueError("replication_factor must be positive")
+        ids = [node.node_id for node in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("node ids must be unique")
+        self.encoder = encoder
+        self.replication_factor = replication_factor
+        self._nodes: dict[str, StorageNode] = {node.node_id: node for node in nodes}
+        self.ring = ConsistentHashRing(ids, vnodes=vnodes)
+        #: Context lengths ever ingested — survives eviction so the frontend
+        #: can fall back to the text path without being told the length again.
+        self._catalogue: dict[str, int] = {}
+        self.stats = ClusterStats()
+
+    # ----------------------------------------------------------------- topology
+    @property
+    def nodes(self) -> Mapping[str, StorageNode]:
+        return self._nodes
+
+    def node(self, node_id: str) -> StorageNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            known = ", ".join(sorted(self._nodes))
+            raise KeyError(f"unknown node {node_id!r}; cluster nodes: {known}") from None
+
+    def add_node(self, node: StorageNode) -> None:
+        """Join a new node (existing placements are not proactively moved;
+        contexts migrate on their next re-ingest, as in LRU cache networks)."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id!r} is already in the cluster")
+        self._nodes[node.node_id] = node
+        self.ring.add_node(node.node_id)
+
+    def remove_node(self, node_id: str) -> StorageNode:
+        """Permanently remove a node (and its placements) from the cluster."""
+        node = self.node(node_id)
+        del self._nodes[node_id]
+        self.ring.remove_node(node_id)
+        return node
+
+    def mark_down(self, node_id: str) -> None:
+        self.node(node_id).mark_down()
+
+    def mark_up(self, node_id: str) -> None:
+        self.node(node_id).mark_up()
+
+    def live_nodes(self) -> list[StorageNode]:
+        return [node for node in self._nodes.values() if node.up]
+
+    # ------------------------------------------------------------------- writes
+    def store_kv(self, context_id: str, kv: KVCache) -> Placement:
+        """Encode a context once and place it on its replica set.
+
+        Down nodes (and nodes too small to hold the context) are skipped in
+        favour of the next node in ring order, so a degraded cluster keeps
+        accepting writes as long as one live node can hold the context.
+        """
+        stored = StoredContext(
+            context_id=context_id,
+            model_name=kv.model_name,
+            num_tokens=kv.num_tokens,
+            chunks=prepare_chunks(kv, self.encoder),
+        )
+        target_replicas = max(min(self.replication_factor, len(self.live_nodes())), 1)
+        placed: list[str] = []
+        skipped: list[str] = []
+        for node_id in self.ring.preference_order(context_id):
+            if len(placed) == target_replicas:
+                break
+            node = self._nodes[node_id]
+            if not node.up:
+                skipped.append(node_id)
+                continue
+            try:
+                node.store.store_prepared(stored)
+            except CapacityError:
+                skipped.append(node_id)
+                continue
+            placed.append(node_id)
+        if not placed:
+            raise CapacityError(
+                f"no live node can hold context {context_id!r} "
+                f"({stored.total_bytes():.0f} B)"
+            )
+        self._catalogue[context_id] = kv.num_tokens
+        self.stats.ingests += 1
+        self.stats.replicas_written += len(placed)
+        self.stats.replication_bytes += stored.total_bytes() * len(placed)
+        self.stats.skipped_replicas += len(skipped)
+        return Placement(
+            context_id=context_id,
+            stored=stored,
+            replica_node_ids=tuple(placed),
+            skipped_node_ids=tuple(skipped),
+        )
+
+    def evict(self, context_id: str) -> int:
+        """Explicitly drop a context from every replica; returns replicas hit."""
+        return sum(1 for node in self._nodes.values() if node.store.evict(context_id))
+
+    # -------------------------------------------------------------------- reads
+    def __contains__(self, context_id: str) -> bool:
+        return any(
+            node.up and context_id in node.store for node in self._nodes.values()
+        )
+
+    def replicas_for(self, context_id: str) -> list[str]:
+        """Nodes currently holding the context (live or not), in ring order."""
+        return [
+            node_id
+            for node_id in self.ring.preference_order(context_id)
+            if context_id in self._nodes[node_id].store
+        ]
+
+    def locate(self, context_id: str) -> Lookup:
+        """Find the replica that should serve a context, with failover.
+
+        Walks the ring's preference order; down nodes and nodes that evicted
+        the context are recorded as attempted.  Nodes beyond the replica set
+        are still probed — after a topology change a context may live on what
+        is now a non-preferred node.  A live node probed without holding the
+        context records a routing miss (its copy was evicted), which is what
+        per-node hit ratios measure.
+        """
+        self.stats.lookups += 1
+        attempted: list[str] = []
+        for node_id in self.ring.preference_order(context_id):
+            node = self._nodes[node_id]
+            if not node.up:
+                attempted.append(node_id)
+                continue
+            if context_id not in node.store:
+                node.record_miss()
+                attempted.append(node_id)
+                continue
+            stored = node.store.get_context(context_id)
+            self.stats.lookup_hits += 1
+            if attempted:
+                self.stats.failovers += 1
+            self.stats.per_node_locates[node_id] = (
+                self.stats.per_node_locates.get(node_id, 0) + 1
+            )
+            return Lookup(node=node, stored=stored, attempted_node_ids=tuple(attempted))
+        self.stats.full_misses += 1
+        return Lookup(node=None, stored=None, attempted_node_ids=tuple(attempted))
+
+    def known_tokens(self, context_id: str) -> int | None:
+        """Length of a context ever ingested, even if since evicted."""
+        return self._catalogue.get(context_id)
+
+    # --------------------------------------------------------------- accounting
+    def storage_bytes(self) -> float:
+        """Bytes resident across the cluster (replicas counted once each)."""
+        return sum(float(node.store.storage_bytes()) for node in self._nodes.values())
+
+    def total_evictions(self) -> int:
+        return sum(node.eviction_count for node in self._nodes.values())
+
+    def node_summaries(self):
+        return [node.summary() for node in self._nodes.values()]

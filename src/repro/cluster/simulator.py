@@ -1,0 +1,247 @@
+"""Cluster simulation: drive a workload through the frontend, report aggregates.
+
+:class:`ClusterSimulator` replays a :class:`~repro.cluster.workload.WorkloadGenerator`
+stream against a :class:`~repro.cluster.frontend.ClusterFrontend`, ingesting
+contexts on first touch (and optionally re-ingesting after capacity
+evictions), injecting node failures/recoveries mid-run, and collecting the
+cluster-level metrics the evaluation needs: per-node hit ratios, eviction
+counts, TTFT percentiles, bytes moved, and SLO attainment.
+
+Every query is answered — from a replica, after failover, or from text — so a
+run reports *degradation*, never hard failures, unless the serving stack
+itself raises (which the report surfaces as ``hard_failures``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..metrics.cluster import LatencySummary, NodeSummary, slo_attainment, summarize_latencies
+from ..storage.kv_store import CapacityError
+from .frontend import ClusterFrontend
+from .workload import Request, WorkloadGenerator
+
+__all__ = ["RequestRecord", "ClusterReport", "ClusterSimulator"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Outcome of one simulated request."""
+
+    request: Request
+    ttft_s: float
+    used_kv_cache: bool
+    served_by: str | None
+    failed_over: bool
+    transmitted_bytes: float
+    ingested: bool
+    quality: float
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate outcome of one cluster run."""
+
+    num_requests: int
+    hard_failures: int
+    failed_ingests: int
+    ttft: LatencySummary
+    slo_s: float | None
+    slo_attainment: float | None
+    kv_served: int
+    text_served: int
+    failovers: int
+    ingests: int
+    total_evictions: int
+    replication_bytes: float
+    query_bytes: float
+    node_summaries: list[NodeSummary] = field(default_factory=list)
+    records: list[RequestRecord] = field(default_factory=list)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of requests served from the KV cache cluster."""
+        if self.num_requests == 0:
+            return 0.0
+        return self.kv_served / self.num_requests
+
+    @property
+    def bytes_moved(self) -> float:
+        """All bytes shipped over links: replication plus query streaming."""
+        return self.replication_bytes + self.query_bytes
+
+    def format_table(self) -> str:
+        """Human-readable run summary (one block, plus one line per node)."""
+        lines = [
+            f"requests          {self.num_requests} "
+            f"(kv={self.kv_served}, text={self.text_served}, "
+            f"failovers={self.failovers}, hard_failures={self.hard_failures})",
+            f"hit ratio         {self.hit_ratio:.3f}",
+            f"TTFT              p50={self.ttft.p50_s:.3f}s p95={self.ttft.p95_s:.3f}s "
+            f"p99={self.ttft.p99_s:.3f}s mean={self.ttft.mean_s:.3f}s",
+            f"ingests           {self.ingests} ({self.replication_bytes / 1e6:.1f} MB replicated, "
+            f"{self.failed_ingests} failed)",
+            f"evictions         {self.total_evictions}",
+            f"bytes moved       {self.bytes_moved / 1e6:.1f} MB "
+            f"({self.query_bytes / 1e6:.1f} MB streamed to queries)",
+        ]
+        if self.slo_s is not None and self.slo_attainment is not None:
+            lines.append(
+                f"SLO               {self.slo_attainment * 100.0:.1f}% within {self.slo_s:.2f}s"
+            )
+        for node in self.node_summaries:
+            state = "up" if node.up else "DOWN"
+            lines.append(
+                f"  {node.node_id:<10} {state:<5} routed={node.requests_routed:<5} "
+                f"hit_ratio={node.hit_ratio:.3f} evictions={node.evictions:<4} "
+                f"resident={node.contexts_resident} ({node.stored_bytes / 1e6:.1f} MB)"
+            )
+        return "\n".join(lines)
+
+
+class ClusterSimulator:
+    """Replays a workload against a cluster frontend.
+
+    Parameters
+    ----------
+    frontend:
+        The cluster serving frontend under test.
+    workload:
+        Deterministic request stream.
+    slo_s:
+        Optional TTFT SLO.  Always reported as attainment; with ``adaptive``
+        it is also handed to every query to enable SLO-aware streaming.
+    adaptive:
+        Whether queries run the SLO-aware adapter (the paper's serving mode;
+        note it prefers the lossless text configuration whenever recompute
+        fits the deadline) or stream at the fixed default encoding level.
+    reingest_on_miss:
+        Re-ingest a previously-known context after it was served from text
+        because every replica lost it — this is what makes the cluster behave
+        like a caching system (placement follows popularity, as in LRU cache
+        networks) instead of decaying to all-text once capacity churns.
+    node_failures / node_recoveries:
+        Request index -> node id; applied *before* that request is served.
+    """
+
+    def __init__(
+        self,
+        frontend: ClusterFrontend,
+        workload: WorkloadGenerator,
+        slo_s: float | None = None,
+        adaptive: bool = True,
+        reingest_on_miss: bool = True,
+        node_failures: Mapping[int, str] | None = None,
+        node_recoveries: Mapping[int, str] | None = None,
+    ) -> None:
+        self.frontend = frontend
+        self.workload = workload
+        self.slo_s = slo_s
+        self.adaptive = adaptive
+        self.reingest_on_miss = reingest_on_miss
+        self.node_failures = dict(node_failures or {})
+        self.node_recoveries = dict(node_recoveries or {})
+        #: Contexts ever ingested — persists across run() calls so a warm-up
+        #: run does not force redundant re-ingests of still-resident contexts.
+        self._known: set[str] = set()
+
+    def run(self, num_requests: int) -> ClusterReport:
+        """Serve ``num_requests`` workload requests and aggregate the outcome.
+
+        Request counters (ingests, bytes, TTFTs, evictions) are per run;
+        ``node_summaries`` snapshot the nodes' cumulative state, so on a
+        repeated ``run()`` they include earlier runs' activity.
+        """
+        records: list[RequestRecord] = []
+        hard_failures = 0
+        failed_ingests = 0
+        ingests = 0
+        replication_bytes = 0.0
+        query_bytes = 0.0
+        evictions_before = self.frontend.cluster.total_evictions()
+
+        for request in self.workload.iter_requests(num_requests):
+            if request.index in self.node_failures:
+                self.frontend.mark_down(self.node_failures[request.index])
+            if request.index in self.node_recoveries:
+                self.frontend.mark_up(self.node_recoveries[request.index])
+
+            # A failed ingest (e.g. every node down or too small) degrades the
+            # request to the text path; it must not fail the query itself.
+            ingested = False
+            if request.context_id not in self._known:
+                try:
+                    report = self.frontend.ingest(request.context_id, request.num_tokens)
+                    self._known.add(request.context_id)
+                    ingests += 1
+                    ingested = True
+                    replication_bytes += report.replicated_bytes
+                except CapacityError:
+                    failed_ingests += 1
+            try:
+                response = self.frontend.query(
+                    request.context_id,
+                    request.question,
+                    num_tokens=request.num_tokens,
+                    slo_s=self.slo_s if self.adaptive else None,
+                )
+            except Exception:
+                hard_failures += 1
+                continue
+
+            query_bytes += response.transmitted_bytes
+            records.append(
+                RequestRecord(
+                    request=request,
+                    ttft_s=response.ttft_s,
+                    used_kv_cache=response.used_kv_cache,
+                    served_by=response.served_by,
+                    failed_over=response.failed_over,
+                    transmitted_bytes=response.transmitted_bytes,
+                    ingested=ingested,
+                    quality=response.quality.relative_quality,
+                )
+            )
+            if (
+                self.reingest_on_miss
+                and not response.used_kv_cache
+                and not ingested
+                and request.context_id not in self.frontend.cluster
+            ):
+                try:
+                    report = self.frontend.ingest(request.context_id, request.num_tokens)
+                    ingests += 1
+                    replication_bytes += report.replicated_bytes
+                except CapacityError:
+                    failed_ingests += 1
+
+        ttfts = [record.ttft_s for record in records]
+        kv_served = sum(1 for record in records if record.used_kv_cache)
+        return ClusterReport(
+            num_requests=num_requests,
+            hard_failures=hard_failures,
+            failed_ingests=failed_ingests,
+            ttft=(
+                summarize_latencies(ttfts)
+                if ttfts
+                else LatencySummary(
+                    count=0, mean_s=0.0, p50_s=0.0, p95_s=0.0, p99_s=0.0, max_s=0.0
+                )
+            ),
+            slo_s=self.slo_s,
+            slo_attainment=(
+                slo_attainment(ttfts, self.slo_s)
+                if self.slo_s is not None and ttfts
+                else None
+            ),
+            kv_served=kv_served,
+            text_served=len(records) - kv_served,
+            failovers=sum(1 for record in records if record.failed_over),
+            ingests=ingests,
+            total_evictions=self.frontend.cluster.total_evictions() - evictions_before,
+            replication_bytes=replication_bytes,
+            query_bytes=query_bytes,
+            node_summaries=self.frontend.cluster.node_summaries(),
+            records=records,
+        )

@@ -1,11 +1,14 @@
-"""Quality, system, entropy and QoE metrics used by the evaluation harness."""
+"""Quality, system, entropy, QoE and cluster metrics used by the harness."""
 
+from .cluster import LatencySummary, NodeSummary, hit_ratio, slo_attainment, summarize_latencies
 from .entropy import empirical_entropy_bits, grouped_entropy, grouping_entropy_comparison
 from .qoe import mean_opinion_score
 from .quality import QualitySummary, accuracy, f1_score, perplexity, summarize_quality
 from .system import TTFTBreakdown, size_reduction, slo_violation_rate, speedup
 
 __all__ = [
+    "LatencySummary",
+    "NodeSummary",
     "QualitySummary",
     "TTFTBreakdown",
     "accuracy",
@@ -13,10 +16,13 @@ __all__ = [
     "f1_score",
     "grouped_entropy",
     "grouping_entropy_comparison",
+    "hit_ratio",
     "mean_opinion_score",
     "perplexity",
     "size_reduction",
+    "slo_attainment",
     "slo_violation_rate",
     "speedup",
     "summarize_quality",
+    "summarize_latencies",
 ]

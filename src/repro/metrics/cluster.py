@@ -1,0 +1,88 @@
+"""Cluster-level aggregate metrics.
+
+The single-request metrics in :mod:`repro.metrics.system` (TTFT breakdowns,
+SLO violations) describe one query; a cluster run produces thousands of them
+plus per-node cache behaviour.  This module provides the aggregates the
+:class:`~repro.cluster.simulator.ClusterSimulator` reports: latency
+percentiles, SLO attainment, and per-node hit/eviction summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .system import slo_violation_rate
+
+__all__ = ["LatencySummary", "NodeSummary", "summarize_latencies", "slo_attainment", "hit_ratio"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of a latency sample (seconds)."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean_s:.3f}s p50={self.p50_s:.3f}s "
+            f"p95={self.p95_s:.3f}s p99={self.p99_s:.3f}s max={self.max_s:.3f}s"
+        )
+
+
+@dataclass(frozen=True)
+class NodeSummary:
+    """Cache behaviour of one storage node over a cluster run."""
+
+    node_id: str
+    requests_routed: int
+    hits: int
+    evictions: int
+    bytes_served: float
+    stored_bytes: float
+    contexts_resident: int
+    up: bool
+
+    @property
+    def hit_ratio(self) -> float:
+        return hit_ratio(self.hits, self.requests_routed)
+
+
+def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
+    """Latency percentiles over a sample of TTFTs (or any delays)."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no latency samples")
+    if np.any(arr < 0):
+        raise ValueError("latencies must be non-negative")
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return LatencySummary(
+        count=int(arr.size),
+        mean_s=float(arr.mean()),
+        p50_s=float(p50),
+        p95_s=float(p95),
+        p99_s=float(p99),
+        max_s=float(arr.max()),
+    )
+
+
+def slo_attainment(ttfts: Sequence[float], slo_s: float) -> float:
+    """Fraction of requests that met the TTFT SLO (complement of Figure 13's
+    violation rate)."""
+    return 1.0 - slo_violation_rate(ttfts, slo_s)
+
+
+def hit_ratio(hits: int, total: int) -> float:
+    """Cache hit ratio; 0.0 for an unused cache rather than a division error."""
+    if hits < 0 or total < 0 or hits > total:
+        raise ValueError("need 0 <= hits <= total")
+    if total == 0:
+        return 0.0
+    return hits / total

@@ -20,7 +20,10 @@ contexts.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
+
+from ..core.kv_cache import KVCache
 
 from ..core.config import CacheGenConfig
 from ..core.decoder import CacheGenDecoder
@@ -41,6 +44,11 @@ __all__ = ["ContextLoadingEngine"]
 #: Number of synthetic sample contexts used to profile the encoder offline.
 _PROFILE_SAMPLES = 2
 _PROFILE_TOKENS = 1_500
+
+#: Number of lossless reference KV caches the engine keeps memoized.  The
+#: reference is needed on every KV-path query to score generation quality;
+#: recomputing it would re-pay the whole prefill the cache exists to avoid.
+_REFERENCE_CACHE_ENTRIES = 128
 
 
 @dataclass
@@ -96,6 +104,7 @@ class ContextLoadingEngine:
             decoder=CacheGenDecoder(encoder),
             store=KVCacheStore(encoder),
         )
+        self._reference_cache: OrderedDict[tuple[str, int], KVCache] = OrderedDict()
 
     # ------------------------------------------------------------------ access
     @property
@@ -114,11 +123,32 @@ class ContextLoadingEngine:
     def compute_model(self) -> ComputeModel:
         return self._parts.compute
 
+    # --------------------------------------------------------------- reference
+    def _reference_kv(self, context_id: str, num_tokens: int) -> KVCache:
+        """Lossless KV cache of a context, memoized across ingest and queries.
+
+        ``calculate_kv`` is deterministic in ``(context_id, num_tokens)``, so
+        the memo stays valid even if the stored bitstreams are evicted and the
+        context is later re-ingested.  The memo is LRU-bounded so long
+        simulations do not hold every context's tensors in memory.
+        """
+        key = (context_id, num_tokens)
+        cache = self._reference_cache
+        kv = cache.get(key)
+        if kv is None:
+            kv = self._parts.llm.calculate_kv(context_id, num_tokens)
+            cache[key] = kv
+            if len(cache) > _REFERENCE_CACHE_ENTRIES:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
+        return kv
+
     # ------------------------------------------------------------------ ingest
     def ingest(self, context_id: str, num_tokens: int) -> IngestReport:
         """Prefill a context once, encode its KV cache and store the bitstreams."""
         start = time.perf_counter()
-        kv = self._parts.llm.calculate_kv(context_id, num_tokens)
+        kv = self._reference_kv(context_id, num_tokens)
         stored = self._parts.store.store_kv(context_id, kv)
         per_level: dict[str, float] = {}
         for chunk in stored.chunks:
@@ -161,15 +191,26 @@ class ContextLoadingEngine:
         return self._query_with_text(context_id, question, num_tokens, prompt_tokens, task)
 
     # ------------------------------------------------------------------ pieces
-    def _prefer_text_path(self, num_tokens: int) -> bool:
-        """Short contexts load faster as text than as KV bitstreams (§7.3)."""
+    def _prefer_text_path(
+        self,
+        num_tokens: int,
+        kv_link: NetworkLink | None = None,
+        text_link: NetworkLink | None = None,
+    ) -> bool:
+        """Short contexts load faster as text than as KV bitstreams (§7.3).
+
+        The two paths may use different links (in a cluster the KV bitstreams
+        come from a storage node, the text from the document store).
+        """
         parts = self._parts
+        kv_link = kv_link or self.link
+        text_link = text_link or self.link
         text_bytes = num_tokens * self.config.text_bytes_per_token
-        text_ttft = self.link.estimate_transfer_time(text_bytes) + parts.compute.prefill_delay(
+        text_ttft = text_link.estimate_transfer_time(text_bytes) + parts.compute.prefill_delay(
             num_tokens
         )
         kv_bytes = self.model.kv_cache_bytes(num_tokens, bits_per_element=2.4)
-        kv_ttft = self.link.estimate_transfer_time(kv_bytes) + parts.compute.decode_delay(num_tokens)
+        kv_ttft = kv_link.estimate_transfer_time(kv_bytes) + parts.compute.decode_delay(num_tokens)
         return text_ttft < kv_ttft
 
     def _query_with_kv(
@@ -179,22 +220,24 @@ class ContextLoadingEngine:
         prompt_tokens: int,
         task: str,
         slo_s: float | None,
+        link: NetworkLink | None = None,
     ) -> QueryResponse:
         parts = self._parts
+        link = link or self.link
         streamer = KVStreamer(
             decoder=parts.decoder,
             compute_model=parts.compute,
-            initial_throughput_bps=self.link.trace.bandwidth_at(0.0),
+            initial_throughput_bps=link.trace.bandwidth_at(0.0),
         )
         if slo_s is not None:
             policy = SLOAwareAdapter(level_names=[level.name for level in self.config.levels])
         else:
             policy = FixedLevelPolicy(level_name=self.config.default_level.name)
         streamed = streamer.stream(
-            stored.chunks, link=self.link, policy=policy, slo_s=slo_s, reconstruct=True
+            stored.chunks, link=link, policy=policy, slo_s=slo_s, reconstruct=True
         )
         assert streamed.kv is not None
-        reference_kv = parts.llm.calculate_kv(stored.context_id, stored.num_tokens)
+        reference_kv = self._reference_kv(stored.context_id, stored.num_tokens)
         generation = parts.llm.generate_with_kv(
             streamed.kv, reference_kv=reference_kv, task=task
         )
@@ -221,11 +264,13 @@ class ContextLoadingEngine:
         num_tokens: int,
         prompt_tokens: int,
         task: str,
+        link: NetworkLink | None = None,
     ) -> QueryResponse:
         parts = self._parts
+        link = link or self.link
         text_bytes = num_tokens * self.config.text_bytes_per_token
-        transfer = self.link.transfer(text_bytes)
-        kv = parts.llm.calculate_kv(context_id, num_tokens)
+        transfer = link.transfer(text_bytes)
+        kv = self._reference_kv(context_id, num_tokens)
         generation = parts.llm.generate_with_kv(kv, reference_kv=kv, task=task)
         ttft = TTFTBreakdown(
             network_s=transfer.duration,

@@ -1,6 +1,19 @@
-"""Storage substrate: the KV cache store and the storage/recompute cost model."""
+"""Storage substrate: the KV cache store, eviction policies and cost model."""
 
 from .cost import CostAnalysis, CostModel, PricingModel
-from .kv_store import KVCacheStore, StoredContext
+from .eviction import CostAwarePolicy, EvictionPolicy, LFUPolicy, LRUPolicy, make_policy
+from .kv_store import CapacityError, KVCacheStore, StoredContext
 
-__all__ = ["CostAnalysis", "CostModel", "KVCacheStore", "PricingModel", "StoredContext"]
+__all__ = [
+    "CapacityError",
+    "CostAnalysis",
+    "CostAwarePolicy",
+    "CostModel",
+    "EvictionPolicy",
+    "KVCacheStore",
+    "LFUPolicy",
+    "LRUPolicy",
+    "PricingModel",
+    "StoredContext",
+    "make_policy",
+]

@@ -1,0 +1,97 @@
+"""Tests for the cluster serving frontend: routing, failover, text fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterFrontend
+from repro.core import CacheGenConfig
+from repro.network import ConstantTrace, NetworkLink, gbps
+
+TOKENS = 2_200
+
+
+@pytest.fixture(scope="module")
+def frontend() -> ClusterFrontend:
+    config = CacheGenConfig(chunk_tokens=1_024)
+    links = [NetworkLink(ConstantTrace(gbps(3.0))) for _ in range(3)]
+    return ClusterFrontend(
+        "mistral-7b", node_links=links, replication_factor=2, config=config
+    )
+
+
+@pytest.fixture(scope="module")
+def ingested(frontend):
+    return frontend.ingest("report-2023", TOKENS)
+
+
+class TestIngest:
+    def test_report_names_replicas(self, frontend, ingested):
+        assert len(ingested.replica_node_ids) == 2
+        assert set(ingested.replica_node_ids) <= set(frontend.nodes)
+        assert ingested.replicated_bytes == pytest.approx(
+            2 * ingested.total_stored_bytes
+        )
+
+    def test_context_visible_in_cluster(self, frontend, ingested):
+        assert "report-2023" in frontend.cluster
+
+
+class TestQuery:
+    def test_served_from_replica(self, frontend, ingested):
+        response = frontend.query("report-2023", "Summarise the revenue drivers.")
+        assert response.used_kv_cache
+        assert response.served_by == ingested.replica_node_ids[0]
+        assert not response.failed_over
+        assert response.quality.relative_quality > 0.95
+
+    def test_failover_to_backup_replica(self, frontend, ingested):
+        primary, backup = ingested.replica_node_ids
+        frontend.mark_down(primary)
+        try:
+            response = frontend.query("report-2023", "Any risks?")
+            assert response.used_kv_cache
+            assert response.served_by == backup
+            assert response.failed_over
+            assert primary in response.attempted_node_ids
+        finally:
+            frontend.mark_up(primary)
+
+    def test_whole_cluster_down_falls_back_to_text(self, frontend, ingested):
+        for node_id in frontend.nodes:
+            frontend.mark_down(node_id)
+        try:
+            # num_tokens omitted on purpose: the catalogue remembers it.
+            response = frontend.query("report-2023", "Still there?")
+            assert not response.used_kv_cache
+            assert response.served_by is None
+            assert response.chunk_configs == ["text"]
+        finally:
+            for node_id in frontend.nodes:
+                frontend.mark_up(node_id)
+
+    def test_unknown_context_needs_num_tokens(self, frontend):
+        with pytest.raises(ValueError):
+            frontend.query("never-seen", "What is this?")
+        response = frontend.query("never-seen-2", "What is this?", num_tokens=1_500)
+        assert not response.used_kv_cache
+
+    def test_unknown_node_rejected(self, frontend):
+        with pytest.raises(KeyError):
+            frontend.mark_down("node-99")
+
+
+class TestHeterogeneousLinks:
+    def test_slow_replica_slower_than_fast_replica(self):
+        config = CacheGenConfig(chunk_tokens=1_024)
+        links = [NetworkLink(ConstantTrace(gbps(3.0))), NetworkLink(ConstantTrace(gbps(0.4)))]
+        frontend = ClusterFrontend(
+            "mistral-7b", node_links=links, replication_factor=2, config=config
+        )
+        report = frontend.ingest("doc", TOKENS)
+        assert set(report.replica_node_ids) == {"node-0", "node-1"}
+        fast = frontend.query("doc", "q?")
+        frontend.mark_down(fast.served_by)
+        slow = frontend.query("doc", "q?")
+        by_node = {fast.served_by: fast, slow.served_by: slow}
+        assert by_node["node-1"].ttft_s > by_node["node-0"].ttft_s

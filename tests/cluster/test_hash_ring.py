@@ -1,0 +1,87 @@
+"""Tests for the consistent-hash placement ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ConsistentHashRing
+
+KEYS = [f"ctx-{i:04d}" for i in range(1_000)]
+
+
+@pytest.fixture()
+def ring() -> ConsistentHashRing:
+    return ConsistentHashRing([f"node-{i}" for i in range(4)])
+
+
+class TestLookup:
+    def test_deterministic(self, ring):
+        assert all(ring.node_for(key) == ring.node_for(key) for key in KEYS[:50])
+
+    def test_every_node_gets_keys(self, ring):
+        owners = {ring.node_for(key) for key in KEYS}
+        assert owners == set(ring.node_ids)
+
+    def test_roughly_balanced(self, ring):
+        counts = {node: 0 for node in ring.node_ids}
+        for key in KEYS:
+            counts[ring.node_for(key)] += 1
+        # With 64 vnodes the split is not exact, but no node should be
+        # starved or hold a majority of a 4-node ring.
+        assert min(counts.values()) > len(KEYS) * 0.10
+        assert max(counts.values()) < len(KEYS) * 0.50
+
+    def test_nodes_for_distinct_and_ordered(self, ring):
+        nodes = ring.nodes_for("ctx-0001", 3)
+        assert len(nodes) == len(set(nodes)) == 3
+        assert nodes[0] == ring.node_for("ctx-0001")
+        # Asking for more replicas than nodes caps at the node count.
+        assert len(ring.nodes_for("ctx-0001", 99)) == 4
+
+    def test_preference_order_covers_all_nodes(self, ring):
+        assert sorted(ring.preference_order("ctx-0002")) == ring.node_ids
+
+    def test_invalid_inputs(self, ring):
+        with pytest.raises(ValueError):
+            ring.nodes_for("k", 0)
+        with pytest.raises(RuntimeError):
+            ConsistentHashRing([]).node_for("k")
+        with pytest.raises(ValueError):
+            ConsistentHashRing(vnodes=0)
+
+
+class TestStability:
+    """Adding/removing a node must only remap a bounded key fraction."""
+
+    def test_add_node_moves_few_keys(self, ring):
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.add_node("node-4")
+        after = {key: ring.node_for(key) for key in KEYS}
+        moved = sum(1 for key in KEYS if before[key] != after[key])
+        # Expected movement is ~1/5 of the keyspace; naive mod-N hashing
+        # would move ~4/5.  Allow generous slack around the expectation.
+        assert 0 < moved < len(KEYS) * 0.40
+        # Every moved key moved *to* the new node, never between old nodes.
+        assert all(after[key] == "node-4" for key in KEYS if before[key] != after[key])
+
+    def test_remove_node_only_remaps_its_keys(self, ring):
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.remove_node("node-2")
+        after = {key: ring.node_for(key) for key in KEYS}
+        for key in KEYS:
+            if before[key] == "node-2":
+                assert after[key] != "node-2"
+            else:
+                assert after[key] == before[key]
+
+    def test_add_remove_round_trips(self, ring):
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.add_node("node-4")
+        ring.remove_node("node-4")
+        assert {key: ring.node_for(key) for key in KEYS} == before
+
+    def test_duplicate_and_missing_nodes(self, ring):
+        with pytest.raises(ValueError):
+            ring.add_node("node-0")
+        with pytest.raises(KeyError):
+            ring.remove_node("node-9")

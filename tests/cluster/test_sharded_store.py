@@ -1,0 +1,107 @@
+"""Tests for sharded placement, replication, failover and capacity pressure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ShardedKVStore, StorageNode
+from repro.storage import KVCacheStore, LRUPolicy
+
+
+def _node(encoder, node_id: str, max_bytes: float | None = None) -> StorageNode:
+    return StorageNode(
+        node_id,
+        KVCacheStore(encoder, max_bytes=max_bytes, eviction_policy=LRUPolicy()),
+    )
+
+
+@pytest.fixture()
+def cluster(encoder) -> ShardedKVStore:
+    nodes = [_node(encoder, f"node-{i}") for i in range(4)]
+    return ShardedKVStore(encoder, nodes, replication_factor=2)
+
+
+class TestPlacement:
+    def test_replication_factor_respected(self, cluster, kv):
+        placement = cluster.store_kv("doc", kv)
+        assert len(placement.replica_node_ids) == 2
+        holders = [
+            node_id for node_id, node in cluster.nodes.items() if "doc" in node.store
+        ]
+        assert sorted(holders) == sorted(placement.replica_node_ids)
+
+    def test_replicas_follow_ring_preference(self, cluster, kv):
+        placement = cluster.store_kv("doc", kv)
+        assert list(placement.replica_node_ids) == cluster.ring.nodes_for("doc", 2)
+
+    def test_down_node_skipped_at_ingest(self, cluster, kv):
+        primary = cluster.ring.node_for("doc")
+        cluster.mark_down(primary)
+        placement = cluster.store_kv("doc", kv)
+        assert primary not in placement.replica_node_ids
+        assert primary in placement.skipped_node_ids
+        assert len(placement.replica_node_ids) == 2
+
+    def test_encode_happens_once(self, cluster, kv):
+        placement = cluster.store_kv("doc", kv)
+        stored = [cluster.nodes[nid].store.get_context("doc") for nid in placement.replica_node_ids]
+        # Replication ships bitstreams; both replicas hold the same encoding.
+        assert stored[0] is stored[1]
+
+
+class TestFailover:
+    def test_lookup_prefers_primary(self, cluster, kv):
+        placement = cluster.store_kv("doc", kv)
+        lookup = cluster.locate("doc")
+        assert lookup.found
+        assert lookup.node.node_id == placement.replica_node_ids[0]
+        assert not lookup.failed_over
+
+    def test_failover_returns_identical_bitstreams(self, cluster, kv):
+        placement = cluster.store_kv("doc", kv)
+        primary, backup = placement.replica_node_ids[:2]
+        before = cluster.nodes[primary].store.get_kv("doc", 0, "medium")
+        cluster.mark_down(primary)
+        lookup = cluster.locate("doc")
+        assert lookup.found and lookup.failed_over
+        assert lookup.node.node_id == backup
+        after = lookup.node.store.get_kv("doc", 0, "medium")
+        assert after.payload_bits == before.payload_bits
+        assert after.compressed_bytes == before.compressed_bytes
+
+    def test_all_replicas_down_is_a_full_miss(self, cluster, kv):
+        placement = cluster.store_kv("doc", kv)
+        for node_id in placement.replica_node_ids:
+            cluster.mark_down(node_id)
+        lookup = cluster.locate("doc")
+        assert not lookup.found
+        assert "doc" not in cluster
+        assert cluster.known_tokens("doc") == kv.num_tokens
+
+    def test_recovery_restores_service(self, cluster, kv):
+        placement = cluster.store_kv("doc", kv)
+        for node_id in placement.replica_node_ids:
+            cluster.mark_down(node_id)
+        cluster.mark_up(placement.replica_node_ids[0])
+        assert cluster.locate("doc").found
+
+
+class TestCapacityPressure:
+    def test_squeeze_evicts_and_reports(self, encoder, llm):
+        kv = llm.calculate_kv("sizing-probe", 320)
+        one_context = KVCacheStore(encoder).store_kv("probe", kv).total_bytes()
+        # Room for ~2 contexts per node.
+        nodes = [_node(encoder, f"node-{i}", max_bytes=2.2 * one_context) for i in range(2)]
+        cluster = ShardedKVStore(encoder, nodes, replication_factor=2)
+        for i in range(4):
+            cluster.store_kv(f"doc-{i}", llm.calculate_kv(f"doc-{i}", 320))
+        assert cluster.total_evictions() > 0
+        resident = {nid: len(node.store) for nid, node in cluster.nodes.items()}
+        assert all(count <= 2 for count in resident.values())
+        # Evicted contexts are still in the catalogue for the text fallback.
+        assert all(cluster.known_tokens(f"doc-{i}") == 320 for i in range(4))
+
+    def test_explicit_evict_hits_all_replicas(self, cluster, kv):
+        cluster.store_kv("doc", kv)
+        assert cluster.evict("doc") == 2
+        assert "doc" not in cluster

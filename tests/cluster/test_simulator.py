@@ -1,0 +1,121 @@
+"""End-to-end cluster simulation tests (the acceptance scenario, scaled down)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterFrontend, ClusterSimulator, WorkloadGenerator
+from repro.core import CacheGenConfig
+from repro.network import ConstantTrace, NetworkLink, gbps
+
+NUM_REQUESTS = 50
+
+
+def _frontend(num_nodes: int = 3, max_bytes: float | None = 150e6) -> ClusterFrontend:
+    config = CacheGenConfig(chunk_tokens=256)
+    links = [NetworkLink(ConstantTrace(gbps(3.0))) for _ in range(num_nodes)]
+    return ClusterFrontend(
+        "mistral-7b",
+        node_links=links,
+        replication_factor=2,
+        max_bytes_per_node=max_bytes,
+        eviction_policy="lru",
+        config=config,
+    )
+
+
+def _workload(seed: int = 7) -> WorkloadGenerator:
+    return WorkloadGenerator(
+        num_contexts=10, zipf_alpha=1.0, token_choices=(320, 640), seed=seed
+    )
+
+
+@pytest.fixture(scope="module")
+def report():
+    simulator = ClusterSimulator(
+        _frontend(), _workload(), slo_s=1.0, adaptive=False, node_failures={25: "node-1"}
+    )
+    return simulator.run(NUM_REQUESTS)
+
+
+class TestRun:
+    def test_every_request_served(self, report):
+        assert report.hard_failures == 0
+        assert len(report.records) == NUM_REQUESTS
+        assert report.kv_served + report.text_served == NUM_REQUESTS
+
+    def test_cache_behaviour_reported(self, report):
+        assert 0.0 < report.hit_ratio <= 1.0
+        assert report.total_evictions > 0
+        assert report.ingests >= len({r.request.context_id for r in report.records})
+        assert report.replication_bytes > 0
+        assert report.query_bytes > 0
+
+    def test_latency_summary(self, report):
+        assert report.ttft.count == NUM_REQUESTS
+        assert 0 < report.ttft.p50_s <= report.ttft.p95_s <= report.ttft.p99_s
+        assert report.slo_attainment is not None
+        assert 0.0 <= report.slo_attainment <= 1.0
+
+    def test_node_summaries_cover_cluster(self, report):
+        assert {s.node_id for s in report.node_summaries} == {
+            "node-0",
+            "node-1",
+            "node-2",
+        }
+        downed = {s.node_id: s for s in report.node_summaries}["node-1"]
+        assert not downed.up
+
+    def test_failure_degrades_but_serves(self, report):
+        after_failure = [r for r in report.records if r.request.index >= 25]
+        assert after_failure  # the run extends past the failure
+        assert all(r.served_by != "node-1" for r in after_failure)
+
+    def test_format_table_mentions_nodes(self, report):
+        table = report.format_table()
+        assert "hit ratio" in table
+        assert "node-1" in table and "DOWN" in table
+
+
+class TestBlackout:
+    def test_total_blackout_degrades_to_text_without_failures(self):
+        simulator = ClusterSimulator(
+            _frontend(num_nodes=2),
+            _workload(seed=3),
+            adaptive=False,
+            node_failures={5: "node-0", 7: "node-1"},
+        )
+        report = simulator.run(20)
+        assert report.hard_failures == 0
+        assert len(report.records) == 20
+        # With every node down, new contexts cannot be ingested but every
+        # request is still answered from the text path.
+        assert report.failed_ingests > 0
+        after = [r for r in report.records if r.request.index >= 7]
+        assert after and all(not r.used_kv_cache for r in after)
+
+
+class TestRepeatedRuns:
+    def test_counters_are_per_run(self):
+        simulator = ClusterSimulator(_frontend(), _workload(seed=5), adaptive=False)
+        first = simulator.run(20)
+        second = simulator.run(20)
+        # Eviction counts are per-run deltas that sum to the cluster total.
+        assert (
+            first.total_evictions + second.total_evictions
+            == simulator.frontend.cluster.total_evictions()
+        )
+        # The warm cache does not re-ingest contexts that are still resident.
+        assert second.ingests <= first.ingests
+        assert second.hard_failures == 0
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_reports(self):
+        kwargs = dict(slo_s=1.0, adaptive=False, node_failures={25: "node-1"})
+        first = ClusterSimulator(_frontend(), _workload(), **kwargs).run(NUM_REQUESTS)
+        second = ClusterSimulator(_frontend(), _workload(), **kwargs).run(NUM_REQUESTS)
+        assert first.ttft == second.ttft
+        assert first.hit_ratio == second.hit_ratio
+        assert first.total_evictions == second.total_evictions
+        assert [r.served_by for r in first.records] == [r.served_by for r in second.records]

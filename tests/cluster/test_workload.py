@@ -1,0 +1,82 @@
+"""Tests for the Zipf/Poisson workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import WorkloadGenerator
+
+
+@pytest.fixture()
+def workload() -> WorkloadGenerator:
+    return WorkloadGenerator(
+        num_contexts=20, zipf_alpha=1.0, token_choices=(400, 800), seed=42
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self, workload):
+        again = WorkloadGenerator(
+            num_contexts=20, zipf_alpha=1.0, token_choices=(400, 800), seed=42
+        )
+        assert workload.generate(100) == again.generate(100)
+
+    def test_different_seed_different_sequence(self, workload):
+        other = WorkloadGenerator(
+            num_contexts=20, zipf_alpha=1.0, token_choices=(400, 800), seed=43
+        )
+        assert workload.generate(100) != other.generate(100)
+
+    def test_context_lengths_are_stable(self, workload):
+        requests = workload.generate(200)
+        lengths: dict[str, int] = {}
+        for request in requests:
+            assert lengths.setdefault(request.context_id, request.num_tokens) == (
+                request.num_tokens
+            )
+            assert request.num_tokens in (400, 800)
+
+
+class TestShape:
+    def test_arrivals_strictly_increase(self, workload):
+        arrivals = [request.arrival_s for request in workload.generate(200)]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_zipf_popularity_is_skewed(self, workload):
+        requests = workload.generate(1_000)
+        counts = np.zeros(workload.num_contexts)
+        for request in requests:
+            rank = int(request.context_id.rsplit("-", 1)[1])
+            counts[rank] += 1
+        # The hottest context dominates the coldest half combined under α=1.
+        assert counts[0] > counts[workload.num_contexts // 2 :].sum() * 0.5
+        assert counts[0] == counts.max()
+
+    def test_uniform_when_alpha_zero(self):
+        workload = WorkloadGenerator(num_contexts=10, zipf_alpha=0.0, seed=1)
+        assert np.allclose(workload.popularity(), 0.1)
+
+    def test_sessions_round_robin(self, workload):
+        requests = workload.generate(16)
+        assert requests[0].session_id != requests[1].session_id
+        assert requests[0].session_id == requests[workload.num_sessions].session_id
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_contexts": 0},
+            {"zipf_alpha": -0.1},
+            {"arrival_rate_per_s": 0.0},
+            {"token_choices": ()},
+            {"token_choices": (0,)},
+            {"num_sessions": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(**kwargs)
+
+    def test_invalid_request_count(self, workload):
+        with pytest.raises(ValueError):
+            workload.generate(0)

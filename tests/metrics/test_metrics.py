@@ -1,4 +1,4 @@
-"""Tests for quality, system, entropy and QoE metrics."""
+"""Tests for quality, system, entropy, QoE and cluster-aggregate metrics."""
 
 from __future__ import annotations
 
@@ -8,6 +8,9 @@ import pytest
 from repro.llm import QualityModel
 from repro.metrics import (
     TTFTBreakdown,
+    hit_ratio,
+    slo_attainment,
+    summarize_latencies,
     accuracy,
     empirical_entropy_bits,
     f1_score,
@@ -130,3 +133,35 @@ class TestQoE:
             mean_opinion_score(-1.0)
         with pytest.raises(ValueError):
             mean_opinion_score(1.0, relative_quality=1.5)
+
+
+class TestClusterAggregates:
+    def test_latency_summary_percentiles(self):
+        samples = [0.1 * i for i in range(1, 101)]
+        summary = summarize_latencies(samples)
+        assert summary.count == 100
+        assert summary.p50_s <= summary.p95_s <= summary.p99_s <= summary.max_s
+        assert summary.p50_s == pytest.approx(5.05, abs=0.1)
+        assert summary.max_s == pytest.approx(10.0)
+
+    def test_slo_attainment_complements_violation_rate(self):
+        ttfts = [0.5, 1.0, 1.5, 2.5]
+        assert slo_attainment(ttfts, 2.0) == pytest.approx(
+            1.0 - slo_violation_rate(ttfts, 2.0)
+        )
+
+    def test_hit_ratio(self):
+        assert hit_ratio(3, 4) == pytest.approx(0.75)
+        assert hit_ratio(0, 0) == 0.0
+        with pytest.raises(ValueError):
+            hit_ratio(5, 4)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
+        with pytest.raises(ValueError):
+            summarize_latencies([-1.0])
+        with pytest.raises(ValueError):
+            slo_attainment([], 1.0)
+        with pytest.raises(ValueError):
+            slo_attainment([1.0], 0.0)

@@ -60,3 +60,23 @@ class TestQuery:
 
         engine = ContextLoadingEngine(MISTRAL_7B)
         assert engine.model is MISTRAL_7B
+
+
+class TestReferenceMemoization:
+    def test_reference_kv_computed_once_per_context(self, monkeypatch):
+        engine = ContextLoadingEngine("mistral-7b")
+        calls: list[str] = []
+        original = engine.llm.calculate_kv
+
+        def counting(context_id: str, num_tokens: int):
+            calls.append(context_id)
+            return original(context_id, num_tokens)
+
+        monkeypatch.setattr(engine.llm, "calculate_kv", counting)
+        engine.ingest("memo-doc", 2_200)
+        assert calls.count("memo-doc") == 1
+        engine.query("memo-doc", "First question?")
+        engine.query("memo-doc", "Second question?")
+        # Repeated queries reuse the reference computed at ingest instead of
+        # re-prefilling the whole context every time.
+        assert calls.count("memo-doc") == 1

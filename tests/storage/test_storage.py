@@ -2,10 +2,22 @@
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.llm import LLAMA_13B
-from repro.storage import CostModel, KVCacheStore, PricingModel
+from repro.storage import (
+    CapacityError,
+    CostAwarePolicy,
+    CostModel,
+    KVCacheStore,
+    LFUPolicy,
+    LRUPolicy,
+    PricingModel,
+    StoredContext,
+    make_policy,
+)
 
 
 @pytest.fixture(scope="module")
@@ -51,9 +63,110 @@ class TestKVCacheStore:
     def test_evict(self, encoder, kv):
         store = KVCacheStore(encoder)
         store.store_kv("temp", kv)
-        store.evict("temp")
+        assert store.evict("temp")
         assert "temp" not in store
-        store.evict("temp")  # idempotent
+        assert not store.evict("temp")  # idempotent
+
+    def test_running_total_tracks_stores_and_evictions(self, encoder, kv):
+        store = KVCacheStore(encoder)
+        assert store.storage_bytes() == 0.0
+        stored = store.store_kv("a", kv)
+        assert store.storage_bytes() == pytest.approx(stored.total_bytes())
+        store.store_kv("b", kv)
+        assert store.storage_bytes() == pytest.approx(2 * stored.total_bytes())
+        store.evict("a")
+        assert store.storage_bytes() == pytest.approx(stored.total_bytes())
+        store.evict("b")
+        assert store.storage_bytes() == 0.0
+
+
+def _fake_context(context_id: str, num_bytes: float, num_tokens: int = 1_000) -> StoredContext:
+    """A StoredContext with a fabricated bitstream size (no real encoding)."""
+    chunk = SimpleNamespace(encodings={"only": SimpleNamespace(compressed_bytes=num_bytes)})
+    return StoredContext(
+        context_id=context_id, model_name="fake", num_tokens=num_tokens, chunks=[chunk]
+    )
+
+
+class TestCapacityBoundedStore:
+    """Capacity accounting and the pluggable eviction policies."""
+
+    def _store(self, policy, max_bytes=250.0):
+        # The encoder is never used: contexts enter via store_prepared.
+        return KVCacheStore(encoder=None, max_bytes=max_bytes, eviction_policy=policy)
+
+    def test_lru_evicts_least_recently_used(self):
+        store = self._store(LRUPolicy())
+        store.store_prepared(_fake_context("a", 100.0))
+        store.store_prepared(_fake_context("b", 100.0))
+        store.get_context("a")  # refresh a
+        store.store_prepared(_fake_context("c", 100.0))
+        assert "b" not in store
+        assert "a" in store and "c" in store
+        assert store.evicted_context_ids == ["b"]
+
+    def test_lfu_evicts_least_frequently_used(self):
+        store = self._store(LFUPolicy())
+        store.store_prepared(_fake_context("a", 100.0))
+        store.store_prepared(_fake_context("b", 100.0))
+        for _ in range(3):
+            store.get_context("a")
+        store.get_context("b")
+        # "b" is less frequently used even though it was touched more recently.
+        store.store_prepared(_fake_context("c", 100.0))
+        assert "b" not in store
+        assert "a" in store and "c" in store
+
+    def test_cost_aware_evicts_lowest_retention_value(self):
+        store = self._store(CostAwarePolicy())
+        # Same access counts: "bulky" costs 10x the storage of "lean" for the
+        # same recompute savings, so it goes first.
+        store.store_prepared(_fake_context("bulky", 100.0, num_tokens=1_000))
+        store.store_prepared(_fake_context("lean", 10.0, num_tokens=1_000))
+        store.store_prepared(_fake_context("c", 145.0))
+        assert "bulky" not in store
+        assert "lean" in store and "c" in store
+
+    def test_eviction_cascades_until_budget_met(self):
+        store = self._store(LRUPolicy(), max_bytes=250.0)
+        store.store_prepared(_fake_context("a", 100.0))
+        store.store_prepared(_fake_context("b", 100.0))
+        store.store_prepared(_fake_context("big", 240.0))
+        assert "a" not in store and "b" not in store
+        assert "big" in store
+        assert store.eviction_count == 2
+        assert store.storage_bytes() == pytest.approx(240.0)
+
+    def test_oversized_context_rejected(self):
+        store = self._store(LRUPolicy(), max_bytes=250.0)
+        with pytest.raises(CapacityError):
+            store.store_prepared(_fake_context("huge", 251.0))
+        assert store.storage_bytes() == 0.0
+
+    def test_restore_replaces_without_counting_eviction(self):
+        store = self._store(LRUPolicy())
+        store.store_prepared(_fake_context("a", 100.0))
+        store.store_prepared(_fake_context("a", 120.0))
+        assert store.storage_bytes() == pytest.approx(120.0)
+        assert store.eviction_count == 0
+
+    def test_unbounded_store_never_evicts(self):
+        store = KVCacheStore(encoder=None, eviction_policy=LRUPolicy())
+        for i in range(10):
+            store.store_prepared(_fake_context(f"ctx-{i}", 1e9))
+        assert len(store) == 10
+        assert store.eviction_count == 0
+
+    def test_make_policy_names(self):
+        assert isinstance(make_policy("lru"), LRUPolicy)
+        assert isinstance(make_policy("lfu"), LFUPolicy)
+        assert isinstance(make_policy("cost"), CostAwarePolicy)
+        with pytest.raises(KeyError):
+            make_policy("random")
+
+    def test_invalid_max_bytes(self):
+        with pytest.raises(ValueError):
+            KVCacheStore(encoder=None, max_bytes=0.0)
 
 
 class TestCostModel:
