@@ -4,11 +4,22 @@ from repro.experiments import run_figure12_concurrency, run_figure12_context_len
 
 
 def test_figure12_concurrency(run_experiment):
+    levels = (1, 4, 8)
     result = run_experiment(
-        run_figure12_concurrency, concurrency_levels=(1, 4, 8), num_tokens=9_600
+        run_figure12_concurrency, concurrency_levels=levels, num_tokens=9_600
     )
     rows_8 = {r["method"]: r for r in result.filter(concurrent_requests=8)}
     assert rows_8["cachegen"]["ttft_s"] < rows_8["text"]["ttft_s"]
+    # Queueing is real at 8-way concurrency and part of the decomposition.
+    assert rows_8["text"]["queueing_s"] > 0.0
+    # The event-driven engine must yield monotonically non-decreasing TTFT
+    # with concurrency for every method (no static gpu_share anywhere).
+    for method in ("text", "quant-8bit", "cachegen"):
+        ttfts = [
+            result.filter(concurrent_requests=n, method=method)[0]["ttft_s"]
+            for n in levels
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(ttfts, ttfts[1:]))
 
 
 def test_figure12_context_length(run_experiment):

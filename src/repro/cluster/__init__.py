@@ -18,7 +18,7 @@ this package scales it out:
 from .frontend import ClusterFrontend, ClusterIngestReport, ClusterQueryResponse
 from .hash_ring import ConsistentHashRing
 from .node import StorageNode
-from .sharded_store import Lookup, Placement, ShardedKVStore
+from .sharded_store import Lookup, Placement, RebalanceReport, ShardedKVStore
 from .simulator import ClusterReport, ClusterSimulator, RequestRecord
 from .workload import Request, WorkloadGenerator
 
@@ -31,6 +31,7 @@ __all__ = [
     "ConsistentHashRing",
     "Lookup",
     "Placement",
+    "RebalanceReport",
     "Request",
     "RequestRecord",
     "ShardedKVStore",

@@ -45,6 +45,10 @@ class StorageNode:
         self.requests_routed = 0
         self.hits = 0
         self.bytes_served = 0.0
+        #: Requests currently being streamed from this node (modeled queue
+        #: depth).  Maintained by the concurrent engine; replica selection
+        #: penalises deeper queues.
+        self.queue_depth = 0
 
     # ---------------------------------------------------------------- liveness
     def mark_down(self) -> None:
@@ -53,6 +57,23 @@ class StorageNode:
 
     def mark_up(self) -> None:
         self.up = True
+
+    # ------------------------------------------------------------------ load
+    def begin_serving(self) -> None:
+        """A request was routed here and will stream from this node."""
+        self.queue_depth += 1
+
+    def end_serving(self) -> None:
+        self.queue_depth = max(self.queue_depth - 1, 0)
+
+    def estimated_service_s(self, num_bytes: float) -> float:
+        """Modeled time to serve ``num_bytes`` from here, queue included.
+
+        The transfer-time estimate is scaled by the number of requests already
+        streaming from this node — the replica-selection cost the frontend
+        minimises (lowest queue depth, fastest link).
+        """
+        return (1 + self.queue_depth) * self.link.estimate_transfer_time(num_bytes)
 
     # -------------------------------------------------------------- accounting
     def record_hit(self, num_bytes: float) -> None:

@@ -23,7 +23,7 @@ from ..streaming.chunking import prepare_chunks
 from .hash_ring import ConsistentHashRing
 from .node import StorageNode
 
-__all__ = ["Placement", "Lookup", "ShardedKVStore"]
+__all__ = ["Placement", "Lookup", "RebalanceReport", "ShardedKVStore"]
 
 
 @dataclass(frozen=True)
@@ -63,6 +63,16 @@ class Lookup:
         return self.found and len(self.attempted_node_ids) > 0
 
 
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What a proactive rebalance after a topology change moved."""
+
+    node_id: str
+    contexts_moved: int
+    replicas_dropped: int
+    bytes_moved: float
+
+
 @dataclass
 class ClusterStats:
     """Running counters over the whole cluster."""
@@ -75,6 +85,8 @@ class ClusterStats:
     failovers: int = 0
     full_misses: int = 0
     skipped_replicas: int = 0
+    rebalanced_contexts: int = 0
+    rebalance_bytes: float = 0.0
     #: Lookups located at each node (the node *held* the context; whether the
     #: frontend then served from it is the node's own hits counter).
     per_node_locates: dict[str, int] = field(default_factory=dict)
@@ -130,13 +142,90 @@ class ShardedKVStore:
             known = ", ".join(sorted(self._nodes))
             raise KeyError(f"unknown node {node_id!r}; cluster nodes: {known}") from None
 
-    def add_node(self, node: StorageNode) -> None:
-        """Join a new node (existing placements are not proactively moved;
-        contexts migrate on their next re-ingest, as in LRU cache networks)."""
+    def add_node(self, node: StorageNode, rebalance: bool = True) -> RebalanceReport:
+        """Join a new node and proactively migrate the contexts it now owns.
+
+        Consistent hashing remaps ~``1/n`` of the keyspace onto the new node;
+        waiting for natural churn to move those contexts causes a miss spike
+        right after every scale-up.  With ``rebalance`` (the default), every
+        resident context whose new replica set includes the joining node is
+        copied onto it immediately (shipping the already-encoded bitstreams,
+        never re-encoding), and replicas on nodes that fell out of the
+        context's replica set are dropped so the replication factor — and the
+        cluster's byte budget — stay steady.
+        """
         if node.node_id in self._nodes:
             raise ValueError(f"node {node.node_id!r} is already in the cluster")
         self._nodes[node.node_id] = node
         self.ring.add_node(node.node_id)
+        if not rebalance:
+            return RebalanceReport(
+                node_id=node.node_id, contexts_moved=0, replicas_dropped=0, bytes_moved=0.0
+            )
+        return self._rebalance_onto(node)
+
+    def _rebalance_onto(self, node: StorageNode) -> RebalanceReport:
+        resident = sorted(
+            {
+                context_id
+                for other in self._nodes.values()
+                for context_id in other.store.context_ids()
+            }
+        )
+        moved = dropped = 0
+        bytes_moved = 0.0
+        for context_id in resident:
+            replica_set = self._target_replica_set(context_id)
+            if node.node_id not in replica_set or context_id in node.store:
+                continue
+            holders = [
+                other
+                for other in self._nodes.values()
+                if other is not node and context_id in other.store
+            ]
+            if not holders:
+                continue
+            stored = holders[0].store.peek_context(context_id)
+            # Never migrate under capacity pressure: store_prepared would
+            # evict earlier migrants from the joining node after their
+            # displaced old replicas are already gone, leaving contexts
+            # under-replicated.  Rebalance fills the node, it never churns it.
+            store = node.store
+            if store.max_bytes is not None and (
+                store.storage_bytes() + stored.total_bytes() > store.max_bytes
+            ):
+                continue
+            try:
+                store.store_prepared(stored)
+            except CapacityError:
+                continue
+            moved += 1
+            bytes_moved += stored.total_bytes()
+            # The new node displaced the last member of the old replica set;
+            # drop copies that no longer belong so replication stays at factor.
+            for holder in holders:
+                if holder.node_id not in replica_set:
+                    holder.store.evict(context_id)
+                    dropped += 1
+        self.stats.rebalanced_contexts += moved
+        self.stats.rebalance_bytes += bytes_moved
+        return RebalanceReport(
+            node_id=node.node_id,
+            contexts_moved=moved,
+            replicas_dropped=dropped,
+            bytes_moved=bytes_moved,
+        )
+
+    def _target_replica_set(self, context_id: str) -> set[str]:
+        """The first ``replication_factor`` live nodes in ring order."""
+        target_size = max(min(self.replication_factor, len(self.live_nodes())), 1)
+        chosen: set[str] = set()
+        for node_id in self.ring.preference_order(context_id):
+            if self._nodes[node_id].up:
+                chosen.add(node_id)
+                if len(chosen) == target_size:
+                    break
+        return chosen
 
     def remove_node(self, node_id: str) -> StorageNode:
         """Permanently remove a node (and its placements) from the cluster."""
@@ -222,34 +311,56 @@ class ShardedKVStore:
     def locate(self, context_id: str) -> Lookup:
         """Find the replica that should serve a context, with failover.
 
-        Walks the ring's preference order; down nodes and nodes that evicted
-        the context are recorded as attempted.  Nodes beyond the replica set
-        are still probed — after a topology change a context may live on what
-        is now a non-preferred node.  A live node probed without holding the
-        context records a routing miss (its copy was evicted), which is what
-        per-node hit ratios measure.
+        Walks the ring's preference order collecting every live replica that
+        still holds the context (nodes beyond the replica set included —
+        after a topology change a context may live on what is now a
+        non-preferred node), then serves from the replica with the cheapest
+        *modeled* service: estimated transfer time of the stored bitstreams
+        over the node's link, scaled by the node's current queue depth, with
+        ring order breaking ties.  Down nodes and nodes that evicted the
+        context ahead of the first live holder are recorded as attempted
+        (that is a failover); a live holder passed over for a faster or less
+        loaded replica is not.  A live node probed without holding the
+        context records a routing miss, which is what per-node hit ratios
+        measure.
         """
         self.stats.lookups += 1
         attempted: list[str] = []
+        candidates: list[StorageNode] = []
         for node_id in self.ring.preference_order(context_id):
             node = self._nodes[node_id]
             if not node.up:
-                attempted.append(node_id)
+                if not candidates:
+                    attempted.append(node_id)
                 continue
             if context_id not in node.store:
-                node.record_miss()
-                attempted.append(node_id)
+                if not candidates:
+                    node.record_miss()
+                    attempted.append(node_id)
                 continue
-            stored = node.store.get_context(context_id)
-            self.stats.lookup_hits += 1
-            if attempted:
-                self.stats.failovers += 1
-            self.stats.per_node_locates[node_id] = (
-                self.stats.per_node_locates.get(node_id, 0) + 1
-            )
-            return Lookup(node=node, stored=stored, attempted_node_ids=tuple(attempted))
-        self.stats.full_misses += 1
-        return Lookup(node=None, stored=None, attempted_node_ids=tuple(attempted))
+            candidates.append(node)
+        if not candidates:
+            self.stats.full_misses += 1
+            return Lookup(node=None, stored=None, attempted_node_ids=tuple(attempted))
+
+        level_name = self.encoder.config.default_level.name
+        best = min(
+            enumerate(candidates),
+            key=lambda pair: (
+                pair[1].estimated_service_s(
+                    pair[1].store.peek_context(context_id).total_bytes(level_name)
+                ),
+                pair[0],
+            ),
+        )[1]
+        stored = best.store.get_context(context_id)
+        self.stats.lookup_hits += 1
+        if attempted:
+            self.stats.failovers += 1
+        self.stats.per_node_locates[best.node_id] = (
+            self.stats.per_node_locates.get(best.node_id, 0) + 1
+        )
+        return Lookup(node=best, stored=stored, attempted_node_ids=tuple(attempted))
 
     def known_tokens(self, context_id: str) -> int | None:
         """Length of a context ever ingested, even if since evicted."""

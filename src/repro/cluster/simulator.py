@@ -7,6 +7,14 @@ evictions), injecting node failures/recoveries mid-run, and collecting the
 cluster-level metrics the evaluation needs: per-node hit ratios, eviction
 counts, TTFT percentiles, bytes moved, and SLO attainment.
 
+With ``concurrency=N`` the simulator serves the stream in waves of ``N``
+requests through the event-driven
+:class:`~repro.serving.concurrent.ConcurrentEngine`: requests in a wave
+contend for the replica links and the GPU run queue (decodes headed to the
+same node are batched), and every request's TTFT decomposes into queueing
+delay + transfer + compute.  ``concurrency=1`` preserves the sequential
+serving path exactly.
+
 Every query is answered — from a replica, after failover, or from text — so a
 run reports *degradation*, never hard failures, unless the serving stack
 itself raises (which the report surfaces as ``hard_failures``).
@@ -15,19 +23,29 @@ itself raises (which the report surfaces as ``hard_failures``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from ..metrics.cluster import LatencySummary, NodeSummary, slo_attainment, summarize_latencies
+from ..serving.concurrent import ConcurrentEngine
+from ..serving.pipeline import QueryResponse
 from ..storage.kv_store import CapacityError
 from .frontend import ClusterFrontend
 from .workload import Request, WorkloadGenerator
 
 __all__ = ["RequestRecord", "ClusterReport", "ClusterSimulator"]
 
+_EMPTY_LATENCIES = LatencySummary(
+    count=0, mean_s=0.0, p50_s=0.0, p95_s=0.0, p99_s=0.0, max_s=0.0
+)
+
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """Outcome of one simulated request."""
+    """Outcome of one simulated request.
+
+    ``queueing_s``/``transfer_s``/``compute_s`` decompose the TTFT; under the
+    sequential path queueing is zero by construction.
+    """
 
     request: Request
     ttft_s: float
@@ -37,6 +55,9 @@ class RequestRecord:
     transmitted_bytes: float
     ingested: bool
     quality: float
+    queueing_s: float = 0.0
+    transfer_s: float = 0.0
+    compute_s: float = 0.0
 
 
 @dataclass
@@ -58,6 +79,9 @@ class ClusterReport:
     query_bytes: float
     node_summaries: list[NodeSummary] = field(default_factory=list)
     records: list[RequestRecord] = field(default_factory=list)
+    #: Queueing-delay distribution across requests (all zeros when sequential).
+    queueing: LatencySummary | None = None
+    concurrency: int = 1
 
     @property
     def hit_ratio(self) -> float:
@@ -86,6 +110,12 @@ class ClusterReport:
             f"bytes moved       {self.bytes_moved / 1e6:.1f} MB "
             f"({self.query_bytes / 1e6:.1f} MB streamed to queries)",
         ]
+        if self.concurrency > 1 and self.queueing is not None:
+            lines.append(
+                f"queueing delay    p50={self.queueing.p50_s:.3f}s "
+                f"p95={self.queueing.p95_s:.3f}s mean={self.queueing.mean_s:.3f}s "
+                f"({self.concurrency} concurrent)"
+            )
         if self.slo_s is not None and self.slo_attainment is not None:
             lines.append(
                 f"SLO               {self.slo_attainment * 100.0:.1f}% within {self.slo_s:.2f}s"
@@ -122,7 +152,13 @@ class ClusterSimulator:
         like a caching system (placement follows popularity, as in LRU cache
         networks) instead of decaying to all-text once capacity churns.
     node_failures / node_recoveries:
-        Request index -> node id; applied *before* that request is served.
+        Request index -> node id; applied *before* that request is served
+        (with ``concurrency > 1``, before the wave containing that request).
+    concurrency:
+        Requests served simultaneously through the event-driven engine; 1
+        keeps the sequential path.
+    max_decode_batch:
+        Batched-decode cap handed to the concurrent engine.
     """
 
     def __init__(
@@ -134,7 +170,11 @@ class ClusterSimulator:
         reingest_on_miss: bool = True,
         node_failures: Mapping[int, str] | None = None,
         node_recoveries: Mapping[int, str] | None = None,
+        concurrency: int = 1,
+        max_decode_batch: int = 16,
     ) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
         self.frontend = frontend
         self.workload = workload
         self.slo_s = slo_s
@@ -142,9 +182,14 @@ class ClusterSimulator:
         self.reingest_on_miss = reingest_on_miss
         self.node_failures = dict(node_failures or {})
         self.node_recoveries = dict(node_recoveries or {})
+        self.concurrency = concurrency
+        self.max_decode_batch = max_decode_batch
         #: Contexts ever ingested — persists across run() calls so a warm-up
         #: run does not force redundant re-ingests of still-resident contexts.
         self._known: set[str] = set()
+        self._ingests = 0
+        self._failed_ingests = 0
+        self._replication_bytes = 0.0
 
     def run(self, num_requests: int) -> ClusterReport:
         """Serve ``num_requests`` workload requests and aggregate the outcome.
@@ -154,31 +199,117 @@ class ClusterSimulator:
         repeated ``run()`` they include earlier runs' activity.
         """
         records: list[RequestRecord] = []
-        hard_failures = 0
-        failed_ingests = 0
-        ingests = 0
-        replication_bytes = 0.0
-        query_bytes = 0.0
+        self._ingests = 0
+        self._failed_ingests = 0
+        self._replication_bytes = 0.0
         evictions_before = self.frontend.cluster.total_evictions()
 
-        for request in self.workload.iter_requests(num_requests):
-            if request.index in self.node_failures:
-                self.frontend.mark_down(self.node_failures[request.index])
-            if request.index in self.node_recoveries:
-                self.frontend.mark_up(self.node_recoveries[request.index])
+        requests = list(self.workload.iter_requests(num_requests))
+        if self.concurrency == 1:
+            hard_failures = self._serve_sequential(requests, records)
+        else:
+            hard_failures = self._serve_concurrent(requests, records)
+        query_bytes = sum(record.transmitted_bytes for record in records)
 
-            # A failed ingest (e.g. every node down or too small) degrades the
-            # request to the text path; it must not fail the query itself.
-            ingested = False
-            if request.context_id not in self._known:
-                try:
-                    report = self.frontend.ingest(request.context_id, request.num_tokens)
-                    self._known.add(request.context_id)
-                    ingests += 1
-                    ingested = True
-                    replication_bytes += report.replicated_bytes
-                except CapacityError:
-                    failed_ingests += 1
+        ttfts = [record.ttft_s for record in records]
+        kv_served = sum(1 for record in records if record.used_kv_cache)
+        return ClusterReport(
+            num_requests=num_requests,
+            hard_failures=hard_failures,
+            failed_ingests=self._failed_ingests,
+            ttft=summarize_latencies(ttfts) if ttfts else _EMPTY_LATENCIES,
+            slo_s=self.slo_s,
+            slo_attainment=(
+                slo_attainment(ttfts, self.slo_s)
+                if self.slo_s is not None and ttfts
+                else None
+            ),
+            kv_served=kv_served,
+            text_served=len(records) - kv_served,
+            failovers=sum(1 for record in records if record.failed_over),
+            ingests=self._ingests,
+            total_evictions=self.frontend.cluster.total_evictions() - evictions_before,
+            replication_bytes=self._replication_bytes,
+            query_bytes=query_bytes,
+            node_summaries=self.frontend.cluster.node_summaries(),
+            records=records,
+            queueing=(
+                summarize_latencies([record.queueing_s for record in records])
+                if records
+                else None
+            ),
+            concurrency=self.concurrency,
+        )
+
+    # ------------------------------------------------------------------ pieces
+    def _apply_topology_events(self, request: Request) -> None:
+        if request.index in self.node_failures:
+            self.frontend.mark_down(self.node_failures[request.index])
+        if request.index in self.node_recoveries:
+            self.frontend.mark_up(self.node_recoveries[request.index])
+
+    def _ingest_on_first_touch(self, request: Request) -> bool:
+        """Ingest a never-seen context; a failed ingest degrades to text."""
+        if request.context_id in self._known:
+            return False
+        try:
+            report = self.frontend.ingest(request.context_id, request.num_tokens)
+        except CapacityError:
+            self._failed_ingests += 1
+            return False
+        self._known.add(request.context_id)
+        self._ingests += 1
+        self._replication_bytes += report.replicated_bytes
+        return True
+
+    def _reingest_if_missed(self, request: Request, response: QueryResponse, ingested: bool) -> None:
+        if (
+            self.reingest_on_miss
+            and not response.used_kv_cache
+            and not ingested
+            and request.context_id not in self.frontend.cluster
+        ):
+            try:
+                report = self.frontend.ingest(request.context_id, request.num_tokens)
+                self._ingests += 1
+                self._replication_bytes += report.replicated_bytes
+            except CapacityError:
+                self._failed_ingests += 1
+
+    def _record(
+        self, request: Request, response: QueryResponse, ingested: bool
+    ) -> RequestRecord:
+        ttft = response.ttft
+        queueing_s = getattr(ttft, "queueing_s", 0.0)
+        return RequestRecord(
+            request=request,
+            ttft_s=response.ttft_s,
+            used_kv_cache=response.used_kv_cache,
+            served_by=getattr(response, "served_by", None),
+            failed_over=getattr(response, "failed_over", False),
+            transmitted_bytes=response.transmitted_bytes,
+            ingested=ingested,
+            quality=response.quality.relative_quality,
+            queueing_s=queueing_s,
+            transfer_s=ttft.network_s,
+            compute_s=ttft.decode_s + ttft.compute_s,
+        )
+
+    # -------------------------------------------------------------- sequential
+    def _serve_sequential(
+        self,
+        requests: Sequence[Request],
+        records: list[RequestRecord],
+        ingested_flags: Sequence[bool] | None = None,
+    ) -> int:
+        hard_failures = 0
+        for position, request in enumerate(requests):
+            self._apply_topology_events(request)
+            ingested = self._ingest_on_first_touch(request)
+            if ingested_flags is not None:
+                # Re-serving a wave whose ingests already happened: keep the
+                # records honest about who triggered them.
+                ingested = ingested or ingested_flags[position]
             try:
                 response = self.frontend.query(
                     request.context_id,
@@ -189,59 +320,45 @@ class ClusterSimulator:
             except Exception:
                 hard_failures += 1
                 continue
+            records.append(self._record(request, response, ingested))
+            self._reingest_if_missed(request, response, ingested)
+        return hard_failures
 
-            query_bytes += response.transmitted_bytes
-            records.append(
-                RequestRecord(
-                    request=request,
-                    ttft_s=response.ttft_s,
-                    used_kv_cache=response.used_kv_cache,
-                    served_by=response.served_by,
-                    failed_over=response.failed_over,
-                    transmitted_bytes=response.transmitted_bytes,
-                    ingested=ingested,
-                    quality=response.quality.relative_quality,
-                )
-            )
-            if (
-                self.reingest_on_miss
-                and not response.used_kv_cache
-                and not ingested
-                and request.context_id not in self.frontend.cluster
-            ):
-                try:
-                    report = self.frontend.ingest(request.context_id, request.num_tokens)
-                    ingests += 1
-                    replication_bytes += report.replicated_bytes
-                except CapacityError:
-                    failed_ingests += 1
-
-        ttfts = [record.ttft_s for record in records]
-        kv_served = sum(1 for record in records if record.used_kv_cache)
-        return ClusterReport(
-            num_requests=num_requests,
-            hard_failures=hard_failures,
-            failed_ingests=failed_ingests,
-            ttft=(
-                summarize_latencies(ttfts)
-                if ttfts
-                else LatencySummary(
-                    count=0, mean_s=0.0, p50_s=0.0, p95_s=0.0, p99_s=0.0, max_s=0.0
-                )
-            ),
-            slo_s=self.slo_s,
-            slo_attainment=(
-                slo_attainment(ttfts, self.slo_s)
-                if self.slo_s is not None and ttfts
-                else None
-            ),
-            kv_served=kv_served,
-            text_served=len(records) - kv_served,
-            failovers=sum(1 for record in records if record.failed_over),
-            ingests=ingests,
-            total_evictions=self.frontend.cluster.total_evictions() - evictions_before,
-            replication_bytes=replication_bytes,
-            query_bytes=query_bytes,
-            node_summaries=self.frontend.cluster.node_summaries(),
-            records=records,
+    # -------------------------------------------------------------- concurrent
+    def _serve_concurrent(
+        self, requests: Sequence[Request], records: list[RequestRecord]
+    ) -> int:
+        engine = ConcurrentEngine(
+            self.frontend, max_decode_batch=self.max_decode_batch
         )
+        hard_failures = 0
+        for start in range(0, len(requests), self.concurrency):
+            wave = list(requests[start : start + self.concurrency])
+            ingested_flags = []
+            for request in wave:
+                self._apply_topology_events(request)
+                ingested_flags.append(self._ingest_on_first_touch(request))
+            wave_start = wave[0].arrival_s
+            try:
+                for request in wave:
+                    engine.submit(
+                        request.context_id,
+                        request.question,
+                        arrival_s=max(request.arrival_s - wave_start, 0.0),
+                        num_tokens=request.num_tokens,
+                        slo_s=self.slo_s if self.adaptive else None,
+                    )
+                responses = engine.run()
+            except Exception:
+                # One bad request must not discard its wave-mates' service:
+                # fall back to the sequential path, which isolates failures
+                # per request (ingests and topology events are idempotent;
+                # the aborted attempt's lookups stay in the cluster stats).
+                hard_failures += self._serve_sequential(
+                    wave, records, ingested_flags=ingested_flags
+                )
+                continue
+            for request, response, ingested in zip(wave, responses, ingested_flags):
+                records.append(self._record(request, response, ingested))
+                self._reingest_if_missed(request, response, ingested)
+        return hard_failures

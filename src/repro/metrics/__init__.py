@@ -4,12 +4,19 @@ from .cluster import LatencySummary, NodeSummary, hit_ratio, slo_attainment, sum
 from .entropy import empirical_entropy_bits, grouped_entropy, grouping_entropy_comparison
 from .qoe import mean_opinion_score
 from .quality import QualitySummary, accuracy, f1_score, perplexity, summarize_quality
-from .system import TTFTBreakdown, size_reduction, slo_violation_rate, speedup
+from .system import (
+    QueueingTTFTBreakdown,
+    TTFTBreakdown,
+    size_reduction,
+    slo_violation_rate,
+    speedup,
+)
 
 __all__ = [
     "LatencySummary",
     "NodeSummary",
     "QualitySummary",
+    "QueueingTTFTBreakdown",
     "TTFTBreakdown",
     "accuracy",
     "empirical_entropy_bits",

@@ -13,7 +13,13 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["TTFTBreakdown", "slo_violation_rate", "size_reduction", "speedup"]
+__all__ = [
+    "TTFTBreakdown",
+    "QueueingTTFTBreakdown",
+    "slo_violation_rate",
+    "size_reduction",
+    "speedup",
+]
 
 
 @dataclass(frozen=True)
@@ -41,6 +47,29 @@ class TTFTBreakdown:
     @property
     def total_s(self) -> float:
         return self.network_s + self.decode_s + self.compute_s
+
+
+@dataclass(frozen=True)
+class QueueingTTFTBreakdown(TTFTBreakdown):
+    """TTFT under concurrency: the shared-resource wait is a first-class part.
+
+    The event-driven serving engine decomposes a request's latency into the
+    three activity components plus ``queueing_s`` — the time spent waiting for
+    admission, for the network link, and for the GPU run queue.  Under no
+    contention ``queueing_s`` is zero and the breakdown degenerates to the
+    sequential :class:`TTFTBreakdown`.
+    """
+
+    queueing_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.queueing_s < 0:
+            raise ValueError("queueing_s must be non-negative")
+
+    @property
+    def total_s(self) -> float:
+        return self.network_s + self.decode_s + self.compute_s + self.queueing_s
 
 
 def slo_violation_rate(ttfts: Sequence[float], slo_s: float) -> float:

@@ -1,6 +1,18 @@
-"""Serving integration: the end-to-end context-loading engine of §6."""
+"""Serving integration: the end-to-end context-loading engine of §6.
+
+The sequential :class:`ContextLoadingEngine` serves one query at a time; the
+:mod:`repro.serving.concurrent` subpackage serves batches of queries through a
+discrete-event simulation of the shared links and GPU run queue.
+"""
 
 from .engine import ContextLoadingEngine
 from .pipeline import IngestReport, QueryResponse
+from .concurrent import ConcurrentEngine, ConcurrentQueryResponse
 
-__all__ = ["ContextLoadingEngine", "IngestReport", "QueryResponse"]
+__all__ = [
+    "ConcurrentEngine",
+    "ConcurrentQueryResponse",
+    "ContextLoadingEngine",
+    "IngestReport",
+    "QueryResponse",
+]

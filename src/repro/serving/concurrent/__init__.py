@@ -1,0 +1,42 @@
+"""Event-driven concurrent serving: queueing at the GPU, batched decode.
+
+The sequential engine serves one request at a time and the old batching
+scheduler modeled concurrency as a static ``1/n`` GPU share.  This package
+replaces both with a discrete-event simulation in which contention *emerges*:
+
+* :class:`SimClock` — deterministic event loop over simulated time;
+* :class:`LinkChannel` / :class:`GpuScheduler` — FIFO links and a serialized
+  GPU run queue with continuous batching of same-node bitstream decodes;
+* :class:`LoadStage` / :class:`StaticLoad` / :class:`ChunkedKVLoad` — what a
+  request must transfer and compute, chunk by chunk, with the adaptation
+  policy consulted against live contention;
+* :class:`ConcurrentLoadSimulator` — runs requests through the shared
+  resources; per-request TTFT decomposes exactly into queueing delay +
+  transfer + compute;
+* :class:`ConcurrentEngine` — the serving facade mirroring
+  :class:`~repro.serving.engine.ContextLoadingEngine`, cluster-aware.
+"""
+
+from .engine import ConcurrentEngine, ConcurrentQueryResponse
+from .events import SimClock
+from .processes import ChunkedKVLoad, LoadProcess, LoadStage, StaticLoad
+from .resources import DECODE, PREFILL, GpuScheduler, GpuTask, LinkChannel
+from .simulator import ConcurrentLoadSimulator, RequestTimeline, StageRecord
+
+__all__ = [
+    "ChunkedKVLoad",
+    "ConcurrentEngine",
+    "ConcurrentLoadSimulator",
+    "ConcurrentQueryResponse",
+    "DECODE",
+    "GpuScheduler",
+    "GpuTask",
+    "LinkChannel",
+    "LoadProcess",
+    "LoadStage",
+    "PREFILL",
+    "RequestTimeline",
+    "SimClock",
+    "StageRecord",
+    "StaticLoad",
+]

@@ -1,0 +1,320 @@
+"""The concurrent serving facade: batch queries through the event engine.
+
+:class:`ConcurrentEngine` mirrors the
+:class:`~repro.serving.engine.ContextLoadingEngine` API — ``ingest`` contexts,
+``query`` them — but serves *sets* of queries through the discrete-event
+simulator: requests are submitted with arrival times, then :meth:`run` plays
+them out against the shared links and the GPU run queue.  Each response
+carries a :class:`~repro.metrics.system.QueueingTTFTBreakdown`, so TTFT under
+concurrency decomposes into queueing delay + transfer + compute instead of
+being scaled by a static GPU share.
+
+The facade wraps either a plain single-node engine or a
+:class:`~repro.cluster.frontend.ClusterFrontend` (detected by its ``cluster``
+attribute): in cluster mode each request streams from the replica the smart
+lookup picks — the modeled per-node queue depth is maintained across the
+batch, so co-arriving requests spread over replicas — and decodes of requests
+served by the same node share batched GPU launches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ...metrics.system import QueueingTTFTBreakdown
+from ...streaming.adaptation import FixedLevelPolicy, SLOAwareAdapter
+from ..pipeline import QueryResponse
+from .processes import ChunkedKVLoad, StaticLoad
+from .resources import DECODE, PREFILL
+from .simulator import ConcurrentLoadSimulator, RequestTimeline
+
+if TYPE_CHECKING:  # avoid a circular import; the engine is only composed with
+    from ..engine import ContextLoadingEngine
+
+__all__ = ["ConcurrentQueryResponse", "ConcurrentEngine"]
+
+
+@dataclass
+class ConcurrentQueryResponse(QueryResponse):
+    """Query response extended with the event-driven timing decomposition."""
+
+    served_by: str | None = None
+    failed_over: bool = False
+    arrival_s: float = 0.0
+    finish_s: float = 0.0
+
+    @property
+    def queueing_s(self) -> float:
+        """Time spent waiting for admission, the link queue and the GPU queue."""
+        ttft = self.ttft
+        return ttft.queueing_s if isinstance(ttft, QueueingTTFTBreakdown) else 0.0
+
+
+@dataclass
+class _Submission:
+    context_id: str
+    question: str
+    arrival_s: float
+    num_tokens: int | None
+    task: str
+    slo_s: float | None
+
+
+@dataclass
+class _Resolution:
+    """Where one submission will be served from (fixed before the sim runs)."""
+
+    use_kv: bool
+    num_tokens: int
+    stored: object | None = None
+    node: object | None = None  # StorageNode in cluster mode
+    failed_over: bool = False
+
+
+class ConcurrentEngine:
+    """Serves concurrent queries over a wrapped context-loading engine.
+
+    Parameters
+    ----------
+    engine:
+        The underlying :class:`~repro.serving.engine.ContextLoadingEngine`
+        (or :class:`~repro.cluster.frontend.ClusterFrontend`); ingest, codec,
+        storage and quality evaluation are delegated to it.
+    max_decode_batch:
+        Cap on batched decode launches on the GPU.
+    batch_overhead:
+        Marginal cost of each extra decode in a batch (fraction of its solo
+        duration).
+    admission_limit:
+        Optional cap on requests in flight; excess arrivals queue FIFO.
+    """
+
+    def __init__(
+        self,
+        engine: "ContextLoadingEngine",
+        max_decode_batch: int = 16,
+        batch_overhead: float = 0.2,
+        admission_limit: int | None = None,
+    ) -> None:
+        self.engine = engine
+        self.max_decode_batch = max_decode_batch
+        self.batch_overhead = batch_overhead
+        self.admission_limit = admission_limit
+        self._submissions: list[_Submission] = []
+
+    # ------------------------------------------------------------------ mirror
+    def ingest(self, context_id: str, num_tokens: int):
+        """Offline path: delegate to the wrapped engine (not simulated)."""
+        return self.engine.ingest(context_id, num_tokens)
+
+    def submit(
+        self,
+        context_id: str,
+        question: str,
+        arrival_s: float = 0.0,
+        num_tokens: int | None = None,
+        task: str = "qa_accuracy",
+        slo_s: float | None = None,
+    ) -> int:
+        """Stage a query; it is served on the next :meth:`run`."""
+        self._submissions.append(
+            _Submission(context_id, question, arrival_s, num_tokens, task, slo_s)
+        )
+        return len(self._submissions) - 1
+
+    def query(
+        self,
+        context_id: str,
+        question: str,
+        num_tokens: int | None = None,
+        task: str = "qa_accuracy",
+        slo_s: float | None = None,
+    ) -> ConcurrentQueryResponse:
+        """Single-query convenience mirroring ``ContextLoadingEngine.query``."""
+        self.submit(context_id, question, num_tokens=num_tokens, task=task, slo_s=slo_s)
+        return self.run()[0]
+
+    # --------------------------------------------------------------------- run
+    def run(self) -> list[ConcurrentQueryResponse]:
+        """Serve all staged queries concurrently; responses in staging order.
+
+        Routing is decided before the event simulation runs, in arrival
+        order: each KV-served request reserves its replica (deepening that
+        node's modeled queue) so later arrivals prefer other replicas.  The
+        reservation is held for the whole batch — an approximation that
+        treats the batch as one contention window; requests spaced far apart
+        in arrival time are better served in separate :meth:`run` calls.
+        """
+        if not self._submissions:
+            raise ValueError("no queries submitted")
+        submissions, self._submissions = self._submissions, []
+
+        sim = ConcurrentLoadSimulator(
+            max_decode_batch=self.max_decode_batch,
+            batch_overhead=self.batch_overhead,
+            admission_limit=self.admission_limit,
+        )
+        resolutions: list[_Resolution | None] = [None] * len(submissions)
+        serving_nodes = []
+        try:
+            arrival_order = sorted(
+                range(len(submissions)), key=lambda i: (submissions[i].arrival_s, i)
+            )
+            for i in arrival_order:
+                resolution = self._resolve(submissions[i])
+                resolutions[i] = resolution
+                if resolution.node is not None and resolution.use_kv:
+                    resolution.node.begin_serving()
+                    serving_nodes.append(resolution.node)
+            processes: list[ChunkedKVLoad | StaticLoad] = []
+            for submission, resolution in zip(submissions, resolutions):
+                process, link, throughput = self._build_process(submission, resolution)
+                processes.append(process)
+                sim.add_request(
+                    submission.arrival_s, link, process, initial_throughput_bps=throughput
+                )
+            timelines = sim.run()
+        finally:
+            for node in serving_nodes:
+                node.end_serving()
+
+        responses = [
+            self._respond(submission, resolution, process, timeline)
+            for submission, resolution, process, timeline in zip(
+                submissions, resolutions, processes, timelines
+            )
+        ]
+        # Node hit accounting happens only once every response exists, so a
+        # failure mid-batch leaves no half-recorded stats behind (the caller's
+        # fallback path would otherwise count the same hits again).
+        for resolution, timeline in zip(resolutions, timelines):
+            if resolution.use_kv and resolution.node is not None:
+                resolution.node.record_hit(timeline.total_bytes)
+        return responses
+
+    # ----------------------------------------------------------------- resolve
+    def _resolve(self, submission: _Submission) -> _Resolution:
+        """Mirror of the wrapped engine's routing, decided up front.
+
+        Uses the engine's protected text-vs-KV heuristic and reference-KV memo
+        on purpose: the facade is the concurrent half of the same subsystem.
+        """
+        engine = self.engine
+        cluster = getattr(engine, "cluster", None)
+        num_tokens = submission.num_tokens
+
+        if cluster is not None:
+            lookup = cluster.locate(submission.context_id)
+            if lookup.found:
+                node, stored = lookup.node, lookup.stored
+                if not engine._prefer_text_path(
+                    stored.num_tokens, kv_link=node.link, text_link=engine.link
+                ):
+                    return _Resolution(
+                        use_kv=True,
+                        num_tokens=stored.num_tokens,
+                        stored=stored,
+                        node=node,
+                        failed_over=lookup.failed_over,
+                    )
+                num_tokens = stored.num_tokens
+            if num_tokens is None:
+                num_tokens = cluster.known_tokens(submission.context_id)
+        elif submission.context_id in engine.store:
+            stored = engine.store.get_context(submission.context_id)
+            if not engine._prefer_text_path(stored.num_tokens):
+                return _Resolution(
+                    use_kv=True, num_tokens=stored.num_tokens, stored=stored
+                )
+            num_tokens = stored.num_tokens
+
+        if num_tokens is None:
+            raise ValueError(
+                "num_tokens is required for contexts that have not been ingested"
+            )
+        return _Resolution(use_kv=False, num_tokens=num_tokens)
+
+    def _build_process(self, submission: _Submission, resolution: _Resolution):
+        engine = self.engine
+        compute = engine.compute_model
+        prompt_tokens = max(engine.llm.tokenizer.count_tokens(submission.question), 1)
+        if resolution.use_kv:
+            link = resolution.node.link if resolution.node is not None else engine.link
+            if submission.slo_s is not None:
+                policy = SLOAwareAdapter(
+                    level_names=[level.name for level in engine.config.levels]
+                )
+            else:
+                policy = FixedLevelPolicy(level_name=engine.config.default_level.name)
+            batch_key = (
+                resolution.node.node_id if resolution.node is not None else "local-gpu"
+            )
+            process = ChunkedKVLoad(
+                resolution.stored.chunks,
+                policy=policy,
+                compute=compute,
+                slo_s=submission.slo_s,
+                prompt_tokens=prompt_tokens,
+                batch_key=batch_key,
+            )
+            return process, link, link.trace.bandwidth_at(0.0)
+        link = engine.link
+        text_bytes = resolution.num_tokens * engine.config.text_bytes_per_token
+        process = StaticLoad.text_load(
+            resolution.num_tokens, text_bytes, compute, prompt_tokens=prompt_tokens
+        )
+        return process, link, link.trace.bandwidth_at(0.0)
+
+    # ----------------------------------------------------------------- respond
+    def _respond(
+        self,
+        submission: _Submission,
+        resolution: _Resolution,
+        process: ChunkedKVLoad | StaticLoad,
+        timeline: RequestTimeline,
+    ) -> ConcurrentQueryResponse:
+        engine = self.engine
+        reference_kv = engine._reference_kv(submission.context_id, resolution.num_tokens)
+        if resolution.use_kv:
+            assert isinstance(process, ChunkedKVLoad)
+            delivered = process.materialise(engine.decoder)
+            generation = engine.llm.generate_with_kv(
+                delivered, reference_kv=reference_kv, task=submission.task
+            )
+            chunk_configs = process.configs
+        else:
+            generation = engine.llm.generate_with_kv(
+                reference_kv, reference_kv=reference_kv, task=submission.task
+            )
+            chunk_configs = ["text"]
+
+        decode_s = sum(
+            stage.gpu_busy_s for stage in timeline.stages if stage.gpu_kind == DECODE
+        )
+        compute_s = sum(
+            stage.gpu_busy_s for stage in timeline.stages if stage.gpu_kind == PREFILL
+        )
+        ttft = QueueingTTFTBreakdown(
+            network_s=timeline.transfer_s,
+            decode_s=decode_s,
+            compute_s=compute_s,
+            queueing_s=timeline.queueing_s,
+        )
+        served_by = None
+        if resolution.use_kv and resolution.node is not None:
+            served_by = resolution.node.node_id
+        return ConcurrentQueryResponse(
+            context_id=submission.context_id,
+            question=submission.question,
+            text=generation.text,
+            quality=generation.quality,
+            ttft=ttft,
+            used_kv_cache=resolution.use_kv,
+            chunk_configs=chunk_configs,
+            transmitted_bytes=timeline.total_bytes,
+            served_by=served_by,
+            failed_over=resolution.failed_over,
+            arrival_s=timeline.arrival_s,
+            finish_s=timeline.finish_s,
+        )

@@ -1,0 +1,313 @@
+"""The concurrent load simulator: requests × links × one GPU, event-driven.
+
+:class:`ConcurrentLoadSimulator` runs a set of requests through the shared
+resources: each request walks its :class:`~repro.serving.concurrent.processes.LoadProcess`
+stage by stage — wait for its link, transfer, wait for the GPU, compute — so
+per-request TTFT decomposes *exactly* into queueing delay (admission + link
+wait + GPU wait), transfer time and compute time.  Overlap happens across
+requests (one request's transfer runs while another's decode occupies the
+GPU), not within a request; the batched decode of co-located requests recoups
+what the strict per-request ordering gives up.
+
+This is the engine room shared by the
+:class:`~repro.streaming.scheduler.ConcurrentScheduler`, the
+:class:`~repro.serving.concurrent.engine.ConcurrentEngine` facade and the
+Figure 12 concurrency experiment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque
+
+from ...network.link import NetworkLink, TransferResult
+from .events import SimClock
+from .processes import LoadProcess, LoadStage
+from .resources import GpuScheduler, GpuTask, LinkChannel
+
+__all__ = ["StageRecord", "RequestTimeline", "ConcurrentLoadSimulator"]
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """Timeline of one completed stage of one request."""
+
+    index: int
+    config: str
+    gpu_kind: str | None
+    num_bytes: float
+    enqueued_s: float
+    transfer_start_s: float
+    transfer_end_s: float
+    ready_at_s: float
+    link_wait_s: float
+    gpu_wait_s: float
+    gpu_busy_s: float
+    achieved_throughput_bps: float
+
+
+@dataclass
+class RequestTimeline:
+    """Everything that happened to one request, with an exact decomposition.
+
+    ``total_s == queueing_s + transfer_s + compute_s`` holds by construction:
+    stages run strictly one after another within a request, and every interval
+    of a stage is either waiting (admission, link queue, GPU queue), moving
+    bytes, or computing.
+    """
+
+    request_id: int
+    arrival_s: float
+    admitted_s: float = 0.0
+    finish_s: float = 0.0
+    done: bool = False
+    stages: list[StageRecord] = field(default_factory=list)
+
+    @property
+    def admission_wait_s(self) -> float:
+        return self.admitted_s - self.arrival_s
+
+    @property
+    def queueing_s(self) -> float:
+        """Admission wait plus all link and GPU queueing."""
+        return self.admission_wait_s + sum(
+            stage.link_wait_s + stage.gpu_wait_s for stage in self.stages
+        )
+
+    @property
+    def transfer_s(self) -> float:
+        return sum(stage.transfer_end_s - stage.transfer_start_s for stage in self.stages)
+
+    @property
+    def compute_s(self) -> float:
+        return sum(stage.gpu_busy_s for stage in self.stages)
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end latency from arrival to last stage completion."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(stage.num_bytes for stage in self.stages)
+
+    @property
+    def configs(self) -> list[str]:
+        return [stage.config for stage in self.stages]
+
+
+class _RequestState:
+    """Mutable per-request bookkeeping while the simulation runs."""
+
+    def __init__(
+        self,
+        request_id: int,
+        arrival_s: float,
+        channel: LinkChannel,
+        process: LoadProcess,
+        throughput_bps: float,
+    ) -> None:
+        self.channel = channel
+        self.process = process
+        self.throughput_bps = throughput_bps
+        self.timeline = RequestTimeline(request_id=request_id, arrival_s=arrival_s)
+
+
+class ConcurrentLoadSimulator:
+    """Runs concurrent load processes over shared links and one GPU.
+
+    Parameters
+    ----------
+    max_decode_batch:
+        Cap on the GPU's batched decode launches.
+    batch_overhead:
+        Marginal per-member cost of a batched decode (see
+        :class:`~repro.serving.concurrent.resources.GpuScheduler`).
+    admission_limit:
+        Maximum number of requests in flight; arrivals beyond it queue and are
+        admitted FIFO as earlier requests finish (``None`` means unbounded).
+    initial_throughput_bps:
+        Throughput assumed for a request's first chunk, before it has measured
+        anything (same role as in the single-request streamer).
+    """
+
+    def __init__(
+        self,
+        max_decode_batch: int = 16,
+        batch_overhead: float = 0.2,
+        admission_limit: int | None = None,
+        initial_throughput_bps: float = 3e9,
+    ) -> None:
+        if admission_limit is not None and admission_limit < 1:
+            raise ValueError("admission_limit must be at least 1 (or None)")
+        if initial_throughput_bps <= 0:
+            raise ValueError("initial_throughput_bps must be positive")
+        self.max_decode_batch = max_decode_batch
+        self.batch_overhead = batch_overhead
+        self.admission_limit = admission_limit
+        self.initial_throughput_bps = initial_throughput_bps
+        self._pending: list[tuple[float, NetworkLink, LoadProcess, float]] = []
+        #: Resource stats of the last run (for reports and tests).
+        self.gpu: GpuScheduler | None = None
+        self.channels: dict[int, LinkChannel] = {}
+
+    # ----------------------------------------------------------------- staging
+    def add_request(
+        self,
+        arrival_s: float,
+        link: NetworkLink,
+        process: LoadProcess,
+        initial_throughput_bps: float | None = None,
+    ) -> int:
+        """Stage a request; returns its id (position in the result list).
+
+        ``initial_throughput_bps`` overrides the simulator-wide prior for this
+        request (a request served from a fast replica should not start from a
+        slow-link estimate).
+        """
+        if arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+        if initial_throughput_bps is not None and initial_throughput_bps <= 0:
+            raise ValueError("initial_throughput_bps must be positive")
+        self._pending.append(
+            (arrival_s, link, process, initial_throughput_bps or self.initial_throughput_bps)
+        )
+        return len(self._pending) - 1
+
+    # --------------------------------------------------------------------- run
+    def run(self) -> list[RequestTimeline]:
+        """Simulate all staged requests; returns timelines in staging order."""
+        if not self._pending:
+            raise ValueError("no requests to simulate")
+        clock = SimClock()
+        gpu = GpuScheduler(
+            clock,
+            max_batch_size=self.max_decode_batch,
+            batch_overhead=self.batch_overhead,
+        )
+        channels: dict[int, LinkChannel] = {}
+        states: list[_RequestState] = []
+        for request_id, (arrival_s, link, process, throughput) in enumerate(self._pending):
+            channel = channels.get(id(link))
+            if channel is None:
+                channel = channels[id(link)] = LinkChannel(clock, link)
+            states.append(
+                _RequestState(request_id, arrival_s, channel, process, throughput)
+            )
+        self._pending = []
+        self.gpu = gpu
+        self.channels = channels
+
+        in_flight = 0
+        admission_queue: Deque[_RequestState] = deque()
+
+        def admit(state: _RequestState) -> None:
+            nonlocal in_flight
+            in_flight += 1
+            state.timeline.admitted_s = clock.now
+            advance(state)
+
+        def on_arrival(state: _RequestState) -> None:
+            if self.admission_limit is not None and in_flight >= self.admission_limit:
+                admission_queue.append(state)
+            else:
+                admit(state)
+
+        def finish(state: _RequestState) -> None:
+            nonlocal in_flight
+            state.timeline.finish_s = clock.now
+            state.timeline.done = True
+            in_flight -= 1
+            if admission_queue:
+                admit(admission_queue.popleft())
+
+        def advance(state: _RequestState) -> None:
+            stage = state.process.next_stage(
+                throughput_bps=state.throughput_bps,
+                elapsed_s=clock.now - state.timeline.arrival_s,
+                concurrency=max(in_flight, 1),
+            )
+            if stage is None:
+                finish(state)
+                return
+            enqueued_s = clock.now
+            if stage.num_bytes > 0:
+                state.channel.request(
+                    stage.num_bytes,
+                    lambda transfer, wait_s: after_transfer(
+                        state, stage, enqueued_s, transfer, wait_s
+                    ),
+                )
+            else:
+                transfer = TransferResult(
+                    start_time=clock.now, end_time=clock.now, num_bytes=0.0
+                )
+                after_transfer(state, stage, enqueued_s, transfer, 0.0)
+
+        def after_transfer(
+            state: _RequestState,
+            stage: LoadStage,
+            enqueued_s: float,
+            transfer: TransferResult,
+            link_wait_s: float,
+        ) -> None:
+            if transfer.num_bytes > 0 and transfer.duration > 0:
+                state.throughput_bps = max(transfer.achieved_throughput_bps, 1.0)
+            if stage.gpu_kind is not None:
+                gpu.submit(
+                    GpuTask(
+                        request_id=state.timeline.request_id,
+                        kind=stage.gpu_kind,
+                        duration_s=stage.gpu_s,
+                        batch_key=stage.batch_key,
+                        on_complete=lambda finish_s, busy_s, gpu_wait_s: complete(
+                            state,
+                            stage,
+                            enqueued_s,
+                            transfer,
+                            link_wait_s,
+                            gpu_wait_s,
+                            busy_s,
+                        ),
+                    )
+                )
+            else:
+                complete(state, stage, enqueued_s, transfer, link_wait_s, 0.0, 0.0)
+
+        def complete(
+            state: _RequestState,
+            stage: LoadStage,
+            enqueued_s: float,
+            transfer: TransferResult,
+            link_wait_s: float,
+            gpu_wait_s: float,
+            gpu_busy_s: float,
+        ) -> None:
+            state.timeline.stages.append(
+                StageRecord(
+                    index=len(state.timeline.stages),
+                    config=stage.config,
+                    gpu_kind=stage.gpu_kind,
+                    num_bytes=stage.num_bytes,
+                    enqueued_s=enqueued_s,
+                    transfer_start_s=transfer.start_time,
+                    transfer_end_s=transfer.end_time,
+                    ready_at_s=clock.now,
+                    link_wait_s=link_wait_s,
+                    gpu_wait_s=gpu_wait_s,
+                    gpu_busy_s=gpu_busy_s,
+                    achieved_throughput_bps=state.throughput_bps,
+                )
+            )
+            advance(state)
+
+        for state in states:
+            clock.schedule(state.timeline.arrival_s, lambda s=state: on_arrival(s))
+        clock.run()
+        stuck = [state.timeline.request_id for state in states if not state.timeline.done]
+        if stuck:
+            raise RuntimeError(
+                f"simulation deadlocked: requests {stuck} never finished"
+            )
+        return [state.timeline for state in states]

@@ -120,6 +120,10 @@ class ContextLoadingEngine:
         return self._parts.encoder
 
     @property
+    def decoder(self) -> CacheGenDecoder:
+        return self._parts.decoder
+
+    @property
     def compute_model(self) -> ComputeModel:
         return self._parts.compute
 

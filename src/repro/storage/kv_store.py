@@ -181,6 +181,18 @@ class KVCacheStore:
             self.eviction_policy.on_access(context_id)
         return stored
 
+    def peek_context(self, context_id: str) -> StoredContext:
+        """Like :meth:`get_context` but without recording an access.
+
+        Placement logic (replica selection, rebalancing) needs to size or
+        copy a context without perturbing the eviction policy's recency or
+        frequency state.
+        """
+        try:
+            return self._contexts[context_id]
+        except KeyError:
+            raise KeyError(f"context {context_id!r} is not in the KV store") from None
+
     def get_kv(self, context_id: str, chunk_id: int, level_name: str) -> EncodedKV:
         """Fetch the encoded bitstream of one chunk at one encoding level."""
         stored = self.get_context(context_id)

@@ -1,13 +1,14 @@
 """Batching of concurrent context-loading requests (§5.3, Figure 12 left).
 
 When multiple requests arrive within a batching window, CacheGen streams them
-together: every request is divided into chunks of the same length, and for
-each chunk index the expected per-configuration delay is multiplied by the
-number of requests that still have that chunk.  On the GPU the requests are
-batched, so each gets a ``1/n`` share of the compute.
-
-:class:`ConcurrentScheduler` wraps :class:`~repro.streaming.streamer.KVStreamer`
-to produce per-request TTFT-style loading delays under a given concurrency.
+together.  Earlier versions modeled the contention with a static ``gpu_share
+= 1/n`` split; :class:`ConcurrentScheduler` now drives the event-driven
+concurrent simulator instead: transfers serialize on the shared link, decodes
+and prefills serialize on the GPU run queue (with continuous batching of
+co-located bitstream decodes), and each request's delay — including its
+queueing delay — emerges from the schedule rather than from a hard-coded
+fraction.  ``max_batch_size`` plays its §5.3 role as the admission limit: at
+most ``B`` requests are in flight, the rest queue FIFO behind them.
 """
 
 from __future__ import annotations
@@ -16,9 +17,11 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..network.link import NetworkLink
+from ..serving.concurrent.processes import ChunkedKVLoad
+from ..serving.concurrent.simulator import ConcurrentLoadSimulator
 from .adaptation import AdaptationPolicy
 from .chunking import PreparedChunk
-from .streamer import KVStreamer, StreamingResult
+from .streamer import KVStreamer, StreamedChunk, StreamingResult
 
 __all__ = ["BatchResult", "ConcurrentScheduler"]
 
@@ -39,6 +42,13 @@ class BatchResult:
             return 0.0
         return sum(r.total_time_s for r in self.per_request) / len(self.per_request)
 
+    @property
+    def mean_queueing_delay_s(self) -> float:
+        """Average time requests spent waiting for the link and the GPU."""
+        if not self.per_request:
+            return 0.0
+        return sum(r.queueing_s for r in self.per_request) / len(self.per_request)
+
 
 class ConcurrentScheduler:
     """Streams several requests' contexts over a shared link and GPU.
@@ -46,17 +56,28 @@ class ConcurrentScheduler:
     Parameters
     ----------
     streamer:
-        The underlying single-request streamer.
+        The underlying single-request streamer (supplies the decoder, the
+        compute model and the initial throughput prior).
     max_batch_size:
-        Maximum number of requests the GPU server can process together (``B``
-        in §5.3); larger arrivals are split into successive batches.
+        Maximum number of requests in flight on the GPU server (``B`` in
+        §5.3); later arrivals are admitted as earlier requests finish.  Also
+        caps the batched decode launches.
+    batch_overhead:
+        Marginal cost of each extra decode in a batched launch, as a fraction
+        of its solo duration.
     """
 
-    def __init__(self, streamer: KVStreamer, max_batch_size: int = 16) -> None:
+    def __init__(
+        self,
+        streamer: KVStreamer,
+        max_batch_size: int = 16,
+        batch_overhead: float = 0.2,
+    ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         self.streamer = streamer
         self.max_batch_size = max_batch_size
+        self.batch_overhead = batch_overhead
 
     def stream_batch(
         self,
@@ -68,53 +89,48 @@ class ConcurrentScheduler:
     ) -> BatchResult:
         """Stream the contexts of concurrent requests and report per-request delays.
 
-        Requests beyond ``max_batch_size`` queue behind the first batch; the
-        delay model for queued batches simply adds the preceding batch's
-        completion time, which matches how the paper's GPU server processes
-        batches back to back.
+        All requests arrive at time zero, share ``link`` and the GPU, and are
+        admitted up to ``max_batch_size`` at a time; the per-request timelines
+        (including the queueing each chunk suffered) come out of the
+        discrete-event schedule.
         """
         if not requests:
             raise ValueError("no requests to schedule")
+        simulator = ConcurrentLoadSimulator(
+            max_decode_batch=self.max_batch_size,
+            batch_overhead=self.batch_overhead,
+            admission_limit=self.max_batch_size,
+            initial_throughput_bps=self.streamer.initial_throughput_bps,
+        )
+        processes = []
+        for prepared in requests:
+            process = ChunkedKVLoad(
+                prepared,
+                policy=policy,
+                compute=self.streamer.compute_model,
+                slo_s=slo_s,
+                batch_key="gpu-server",
+            )
+            processes.append(process)
+            simulator.add_request(0.0, link, process)
+        timelines = simulator.run()
+
         result = BatchResult()
-        batch_offset = 0.0
-        for start in range(0, len(requests), self.max_batch_size):
-            batch = list(requests[start : start + self.max_batch_size])
-            n = len(batch)
-            batch_results = []
-            for prepared in batch:
-                streamed = self.streamer.stream(
-                    prepared,
-                    link=link,
-                    policy=policy,
-                    slo_s=slo_s,
-                    gpu_share=1.0 / n,
-                    concurrency=n,
-                    reconstruct=reconstruct,
+        for process, timeline in zip(processes, timelines):
+            streamed = StreamingResult(slo_s=slo_s, queueing_s=timeline.queueing_s)
+            streamed.chunks = [
+                StreamedChunk(
+                    index=stage.index,
+                    config=stage.config,
+                    num_bytes=stage.num_bytes,
+                    transfer_start_s=stage.transfer_start_s,
+                    transfer_end_s=stage.transfer_end_s,
+                    ready_at_s=stage.ready_at_s,
+                    achieved_throughput_bps=stage.achieved_throughput_bps,
                 )
-                batch_results.append(streamed)
-            # All requests in a batch complete together (padded batching); a
-            # queued batch starts after the previous one finishes.
-            batch_delay = max(r.total_time_s for r in batch_results)
-            for streamed in batch_results:
-                streamed.chunks = [
-                    chunk for chunk in streamed.chunks
-                ]  # keep chunk records as-is
-                streamed.slo_s = slo_s
-            if batch_offset:
-                for streamed in batch_results:
-                    offset_chunks = [
-                        type(chunk)(
-                            index=chunk.index,
-                            config=chunk.config,
-                            num_bytes=chunk.num_bytes,
-                            transfer_start_s=chunk.transfer_start_s + batch_offset,
-                            transfer_end_s=chunk.transfer_end_s + batch_offset,
-                            ready_at_s=chunk.ready_at_s + batch_offset,
-                            achieved_throughput_bps=chunk.achieved_throughput_bps,
-                        )
-                        for chunk in streamed.chunks
-                    ]
-                    streamed.chunks = offset_chunks
-            result.per_request.extend(batch_results)
-            batch_offset += batch_delay
+                for stage in timeline.stages
+            ]
+            if reconstruct:
+                streamed.kv = process.materialise(self.streamer.decoder)
+            result.per_request.append(streamed)
         return result

@@ -5,13 +5,20 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster import ShardedKVStore, StorageNode
+from repro.network import ConstantTrace, NetworkLink, gbps
 from repro.storage import KVCacheStore, LRUPolicy
 
 
-def _node(encoder, node_id: str, max_bytes: float | None = None) -> StorageNode:
+def _node(
+    encoder,
+    node_id: str,
+    max_bytes: float | None = None,
+    link: NetworkLink | None = None,
+) -> StorageNode:
     return StorageNode(
         node_id,
         KVCacheStore(encoder, max_bytes=max_bytes, eviction_policy=LRUPolicy()),
+        link=link,
     )
 
 
@@ -84,6 +91,105 @@ class TestFailover:
             cluster.mark_down(node_id)
         cluster.mark_up(placement.replica_node_ids[0])
         assert cluster.locate("doc").found
+
+
+class TestReplicaSelection:
+    def test_faster_link_wins_over_ring_order(self, encoder, kv):
+        slow = NetworkLink(ConstantTrace(gbps(0.2)))
+        fast = NetworkLink(ConstantTrace(gbps(5.0)))
+        nodes = [_node(encoder, "node-0", link=slow), _node(encoder, "node-1", link=fast)]
+        cluster = ShardedKVStore(encoder, nodes, replication_factor=2)
+        cluster.store_kv("doc", kv)
+        # Both replicas hold the context; the modeled-fastest one serves it,
+        # whatever the ring's preference order says.
+        assert cluster.locate("doc").node.node_id == "node-1"
+
+    def test_deeper_queue_deflects_to_other_replica(self, cluster, kv):
+        placement = cluster.store_kv("doc", kv)
+        primary, backup = placement.replica_node_ids
+        assert cluster.locate("doc").node.node_id == primary
+        cluster.node(primary).begin_serving()
+        try:
+            # With a request already streaming from the primary, the modeled
+            # service time doubles and the idle backup replica wins.
+            assert cluster.locate("doc").node.node_id == backup
+        finally:
+            cluster.node(primary).end_serving()
+        assert cluster.locate("doc").node.node_id == primary
+
+    def test_slower_replica_is_not_a_failover(self, encoder, kv):
+        slow = NetworkLink(ConstantTrace(gbps(0.2)))
+        fast = NetworkLink(ConstantTrace(gbps(5.0)))
+        nodes = [_node(encoder, "node-0", link=slow), _node(encoder, "node-1", link=fast)]
+        cluster = ShardedKVStore(encoder, nodes, replication_factor=2)
+        cluster.store_kv("doc", kv)
+        lookup = cluster.locate("doc")
+        # Passing over a live-but-slower replica is a choice, not a failover.
+        assert not lookup.failed_over
+        assert cluster.stats.failovers == 0
+
+
+class TestRebalance:
+    NUM_CONTEXTS = 8
+
+    @pytest.fixture()
+    def populated(self, encoder, llm):
+        nodes = [_node(encoder, f"node-{i}") for i in range(3)]
+        cluster = ShardedKVStore(encoder, nodes, replication_factor=2)
+        for i in range(self.NUM_CONTEXTS):
+            cluster.store_kv(f"doc-{i}", llm.calculate_kv(f"doc-{i}", 320))
+        return cluster
+
+    def test_add_node_migrates_remapped_contexts(self, populated):
+        joining = _node(populated.encoder, "node-3")
+        report = populated.add_node(joining)
+        owned = [
+            f"doc-{i}"
+            for i in range(self.NUM_CONTEXTS)
+            if "node-3" in populated.ring.nodes_for(f"doc-{i}", 2)
+        ]
+        assert owned, "the new node must own some contexts for this test to bite"
+        assert report.contexts_moved == len(owned)
+        assert report.bytes_moved > 0
+        for context_id in owned:
+            assert context_id in joining.store
+
+    def test_rebalance_preserves_replication_factor(self, populated):
+        report = populated.add_node(_node(populated.encoder, "node-3"))
+        assert report.replicas_dropped == report.contexts_moved
+        for i in range(self.NUM_CONTEXTS):
+            assert len(populated.replicas_for(f"doc-{i}")) == 2
+
+    def test_rebalance_can_be_disabled(self, populated):
+        joining = _node(populated.encoder, "node-3")
+        report = populated.add_node(joining, rebalance=False)
+        assert report.contexts_moved == 0
+        assert len(joining.store) == 0
+
+    def test_capacity_bounded_join_never_under_replicates(self, populated, encoder):
+        """A small joining node fills up, it never churns earlier migrants.
+
+        Migrating under capacity pressure would evict earlier migrants whose
+        displaced old replicas are already gone; the rebalance must skip
+        instead, keeping every context at full replication.
+        """
+        one_context = next(iter(populated.nodes.values())).store.peek_context(
+            "doc-0"
+        ).total_bytes()
+        joining = _node(populated.encoder, "node-3", max_bytes=1.5 * one_context)
+        report = populated.add_node(joining)
+        assert report.contexts_moved == len(joining.store) <= 1
+        assert joining.store.eviction_count == 0
+        for i in range(self.NUM_CONTEXTS):
+            assert len(populated.replicas_for(f"doc-{i}")) >= 2
+
+    def test_rebalance_cuts_post_scaleup_misses(self, populated):
+        """After a proactive rebalance every lookup is a primary hit again."""
+        populated.add_node(_node(populated.encoder, "node-3"))
+        failovers_before = populated.stats.failovers
+        for i in range(self.NUM_CONTEXTS):
+            assert populated.locate(f"doc-{i}").found
+        assert populated.stats.failovers == failovers_before
 
 
 class TestCapacityPressure:
