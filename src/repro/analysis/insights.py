@@ -21,8 +21,6 @@ import numpy as np
 
 from ..core.delta import consecutive_delta_variance_ratio
 from ..core.kv_cache import KVCache
-from ..core.quantization import layer_bin_sizes
-from ..llm.quality import QualityModel
 from ..llm.synthetic_model import SyntheticLLM
 from ..metrics.entropy import grouping_entropy_comparison
 

@@ -23,6 +23,7 @@ from ..serving.engine import ContextLoadingEngine
 from ..serving.pipeline import IngestReport, QueryResponse
 from ..storage.eviction import EvictionPolicy, make_policy
 from ..storage.kv_store import KVCacheStore
+from ..storage.tiered import DiskKVStore, PlacementPolicy, TieredKVStore
 from .node import StorageNode
 from .sharded_store import ShardedKVStore
 
@@ -44,6 +45,10 @@ class ClusterQueryResponse(QueryResponse):
     served_by: str | None = None
     failed_over: bool = False
     attempted_node_ids: tuple[str, ...] = ()
+    #: Tier the serving replica held the context in (None for the text path).
+    served_tier: str | None = None
+    #: Serialized tier-link read a cold hit paid before streaming started.
+    tier_transfer_s: float = 0.0
 
 
 def _as_cluster_response(
@@ -51,6 +56,8 @@ def _as_cluster_response(
     served_by: str | None,
     failed_over: bool = False,
     attempted: tuple[str, ...] = (),
+    served_tier: str | None = None,
+    tier_transfer_s: float = 0.0,
 ) -> ClusterQueryResponse:
     base = {f.name: getattr(response, f.name) for f in fields(QueryResponse)}
     return ClusterQueryResponse(
@@ -58,6 +65,8 @@ def _as_cluster_response(
         served_by=served_by,
         failed_over=failed_over,
         attempted_node_ids=attempted,
+        served_tier=served_tier,
+        tier_transfer_s=tier_transfer_s,
     )
 
 
@@ -79,6 +88,18 @@ class ClusterFrontend(ContextLoadingEngine):
         Policy name (``"lru"``, ``"lfu"``, ``"cost"``) or a factory returning a
         fresh :class:`EvictionPolicy` per node (policies hold per-node state
         and must not be shared).
+    cold_bytes_per_node:
+        Capacity of each node's cold (disk/object-store) tier.  ``None`` (the
+        default) keeps nodes single-tier; with a cold tier attached, hot-tier
+        capacity evictions demote instead of drop and cold hits promote back.
+        Requires ``max_bytes_per_node`` (an unbounded hot tier never demotes).
+    tier_links:
+        One tier link per node modeling its disk/object-store read path;
+        defaults to each :class:`~repro.storage.tiered.DiskKVStore`'s 1 Gbps
+        constant link.
+    placement:
+        Tier-admission policy for new contexts (``"hot"``, ``"cost"``, or a
+        factory returning a fresh policy per node).
     text_link:
         Link to the document store used by the text fallback; defaults to a
         fresh 3 Gbps link.
@@ -91,6 +112,9 @@ class ClusterFrontend(ContextLoadingEngine):
         replication_factor: int = 2,
         max_bytes_per_node: float | None = None,
         eviction_policy: str | Callable[[], EvictionPolicy] = "lru",
+        cold_bytes_per_node: float | None = None,
+        tier_links: Sequence[NetworkLink] | None = None,
+        placement: str | Callable[[], PlacementPolicy] = "hot",
         config: CacheGenConfig | None = None,
         gpu: GPUSpec = A40,
         base_quality: dict[str, float] | None = None,
@@ -108,13 +132,21 @@ class ClusterFrontend(ContextLoadingEngine):
             links = list(node_links)
             if not links:
                 raise ValueError("node_links must name at least one node")
+        if cold_bytes_per_node is not None and max_bytes_per_node is None:
+            raise ValueError(
+                "a cold tier needs a bounded hot tier (set max_bytes_per_node)"
+            )
+        if tier_links is not None and len(tier_links) != len(links):
+            raise ValueError("tier_links must name one link per node")
         nodes = [
             StorageNode(
                 node_id=f"node-{i}",
-                store=KVCacheStore(
-                    self.encoder,
-                    max_bytes=max_bytes_per_node,
-                    eviction_policy=self._new_policy(eviction_policy),
+                store=self._new_store(
+                    max_bytes_per_node,
+                    eviction_policy,
+                    cold_bytes_per_node,
+                    tier_links[i] if tier_links is not None else None,
+                    placement,
                 ),
                 link=link,
             )
@@ -122,6 +154,32 @@ class ClusterFrontend(ContextLoadingEngine):
         ]
         self.cluster = ShardedKVStore(
             self.encoder, nodes, replication_factor=replication_factor, vnodes=vnodes
+        )
+
+    def _new_store(
+        self,
+        max_bytes_per_node: float | None,
+        eviction_policy: str | Callable[[], EvictionPolicy],
+        cold_bytes_per_node: float | None,
+        tier_link: NetworkLink | None,
+        placement: str | Callable[[], PlacementPolicy],
+    ) -> KVCacheStore | TieredKVStore:
+        hot = KVCacheStore(
+            self.encoder,
+            max_bytes=max_bytes_per_node,
+            eviction_policy=self._new_policy(eviction_policy),
+        )
+        if cold_bytes_per_node is None:
+            return hot
+        cold = DiskKVStore(
+            max_bytes=cold_bytes_per_node,
+            eviction_policy=self._new_policy(eviction_policy),
+            link=tier_link,
+        )
+        return TieredKVStore(
+            hot,
+            cold,
+            placement=placement if isinstance(placement, str) else placement(),
         )
 
     @staticmethod
@@ -182,18 +240,38 @@ class ClusterFrontend(ContextLoadingEngine):
         if lookup.found:
             node, stored = lookup.node, lookup.stored
             assert node is not None and stored is not None
+            # A cold hit reads the bitstreams off the replica's disk tier
+            # before the serving link sees the first byte — one serialized
+            # tier-link transfer of the default level's bitstreams.
+            tier_transfer_s = 0.0
+            if lookup.cold_hit:
+                level_name = self.config.default_level.name
+                tier_transfer_s = node.cold_read_delay_s(
+                    stored.total_bytes(level_name)
+                )
             if not self._prefer_text_path(
-                stored.num_tokens, kv_link=node.link, text_link=self.link
+                stored.num_tokens,
+                kv_link=node.link,
+                text_link=self.link,
+                kv_extra_s=tier_transfer_s,
             ):
                 response = self._query_with_kv(
-                    stored, question, prompt_tokens, task, slo_s, link=node.link
+                    stored,
+                    question,
+                    prompt_tokens,
+                    task,
+                    slo_s,
+                    link=node.link,
+                    extra_network_s=tier_transfer_s,
                 )
-                node.record_hit(response.transmitted_bytes)
+                node.record_hit(response.transmitted_bytes, tier=lookup.tier or "hot")
                 return _as_cluster_response(
                     response,
                     served_by=node.node_id,
                     failed_over=lookup.failed_over,
                     attempted=lookup.attempted_node_ids,
+                    served_tier=lookup.tier,
+                    tier_transfer_s=tier_transfer_s,
                 )
             # Short context: the text path wins even though the replica holds
             # the cache — not a miss, the node just is not asked to serve.

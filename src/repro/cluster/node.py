@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..metrics.cluster import NodeSummary
 from ..network.link import NetworkLink
 from ..storage.kv_store import KVCacheStore
+from ..storage.tiered import COLD, HOT, TieredKVStore
 
 __all__ = ["StorageNode"]
 
@@ -24,7 +25,9 @@ class StorageNode:
     node_id:
         Stable identifier used for hash-ring placement.
     store:
-        The node's capacity-bounded KV cache store.
+        The node's capacity-bounded KV cache store — in-memory only, or a
+        :class:`~repro.storage.tiered.TieredKVStore` with a disk tier behind
+        the memory budget.
     link:
         Network link from this node to the GPU server.  Defaults to the
         3 Gbps constant link the paper's headline evaluation uses.
@@ -33,7 +36,7 @@ class StorageNode:
     def __init__(
         self,
         node_id: str,
-        store: KVCacheStore,
+        store: KVCacheStore | TieredKVStore,
         link: NetworkLink | None = None,
     ) -> None:
         if not node_id:
@@ -44,6 +47,7 @@ class StorageNode:
         self.up = True
         self.requests_routed = 0
         self.hits = 0
+        self.cold_hits = 0
         self.bytes_served = 0.0
         #: Requests currently being streamed from this node (modeled queue
         #: depth).  Maintained by the concurrent engine; replica selection
@@ -75,11 +79,30 @@ class StorageNode:
         """
         return (1 + self.queue_depth) * self.link.estimate_transfer_time(num_bytes)
 
+    # ------------------------------------------------------------------- tiers
+    @property
+    def tiered(self) -> bool:
+        return isinstance(self.store, TieredKVStore)
+
+    def tier_of(self, context_id: str) -> str | None:
+        """Which tier holds a context ("hot" for a single-tier node)."""
+        if self.tiered:
+            return self.store.tier_of(context_id)
+        return HOT if context_id in self.store else None
+
+    def cold_read_delay_s(self, num_bytes: float) -> float:
+        """Modeled tier-link read time (zero on a single-tier node)."""
+        if self.tiered:
+            return self.store.cold_read_delay_s(num_bytes)
+        return 0.0
+
     # -------------------------------------------------------------- accounting
-    def record_hit(self, num_bytes: float) -> None:
-        """A query was served from this node's cache."""
+    def record_hit(self, num_bytes: float, tier: str = "hot") -> None:
+        """A query was served from this node's cache (from the given tier)."""
         self.requests_routed += 1
         self.hits += 1
+        if tier == COLD:
+            self.cold_hits += 1
         self.bytes_served += num_bytes
 
     def record_miss(self) -> None:
@@ -91,15 +114,23 @@ class StorageNode:
         return self.store.eviction_count
 
     def summary(self) -> NodeSummary:
+        store = self.store
+        tiered = self.tiered
         return NodeSummary(
             node_id=self.node_id,
             requests_routed=self.requests_routed,
             hits=self.hits,
             evictions=self.eviction_count,
             bytes_served=self.bytes_served,
-            stored_bytes=float(self.store.storage_bytes()),
-            contexts_resident=len(self.store),
+            stored_bytes=float(store.storage_bytes()),
+            contexts_resident=len(store),
             up=self.up,
+            hot_hits=self.hits - self.cold_hits,
+            cold_hits=self.cold_hits,
+            demotions=store.demotion_count if tiered else 0,
+            promotions=store.promotion_count if tiered else 0,
+            hot_bytes=store.hot_bytes() if tiered else float(store.storage_bytes()),
+            cold_bytes=store.cold_bytes() if tiered else 0.0,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

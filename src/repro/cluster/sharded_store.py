@@ -19,6 +19,7 @@ from typing import Mapping, Sequence
 from ..core.encoder import CacheGenEncoder
 from ..core.kv_cache import KVCache
 from ..storage.kv_store import CapacityError, StoredContext
+from ..storage.tiered import COLD, HOT
 from ..streaming.chunking import prepare_chunks
 from .hash_ring import ConsistentHashRing
 from .node import StorageNode
@@ -52,6 +53,9 @@ class Lookup:
     node: StorageNode | None
     stored: StoredContext | None
     attempted_node_ids: tuple[str, ...] = ()
+    #: Tier the serving replica held the context in ("hot"/"cold", None on a
+    #: full miss).  A cold hit pays the node's tier link before streaming.
+    tier: str | None = None
 
     @property
     def found(self) -> bool:
@@ -61,6 +65,10 @@ class Lookup:
     def failed_over(self) -> bool:
         """Whether the serving replica was not the first-choice node."""
         return self.found and len(self.attempted_node_ids) > 0
+
+    @property
+    def cold_hit(self) -> bool:
+        return self.tier == COLD
 
 
 @dataclass(frozen=True)
@@ -82,6 +90,8 @@ class ClusterStats:
     replication_bytes: float = 0.0
     lookups: int = 0
     lookup_hits: int = 0
+    #: Lookup hits served off a replica's cold tier (subset of lookup_hits).
+    cold_lookup_hits: int = 0
     failovers: int = 0
     full_misses: int = 0
     skipped_replicas: int = 0
@@ -187,13 +197,15 @@ class ShardedKVStore:
                 continue
             stored = holders[0].store.peek_context(context_id)
             # Never migrate under capacity pressure: store_prepared would
-            # evict earlier migrants from the joining node after their
-            # displaced old replicas are already gone, leaving contexts
-            # under-replicated.  Rebalance fills the node, it never churns it.
+            # evict (or, on a tiered node, demote) earlier migrants from the
+            # joining node after their displaced old replicas are already
+            # gone, leaving contexts under-replicated or silently colder.
+            # Rebalance fills the node, it never churns it.  The headroom
+            # accessor also counts in-flight demotions — bytes evicted from
+            # the hot tier whose write-back to cold has not landed yet still
+            # occupy node memory, so ignoring them would over-fill the node.
             store = node.store
-            if store.max_bytes is not None and (
-                store.storage_bytes() + stored.total_bytes() > store.max_bytes
-            ):
+            if store.migration_headroom_bytes() < stored.total_bytes():
                 continue
             try:
                 store.store_prepared(stored)
@@ -317,50 +329,63 @@ class ShardedKVStore:
         non-preferred node), then serves from the replica with the cheapest
         *modeled* service: estimated transfer time of the stored bitstreams
         over the node's link, scaled by the node's current queue depth, with
-        ring order breaking ties.  Down nodes and nodes that evicted the
-        context ahead of the first live holder are recorded as attempted
-        (that is a failover); a live holder passed over for a faster or less
-        loaded replica is not.  A live node probed without holding the
-        context records a routing miss, which is what per-node hit ratios
-        measure.
+        ring order breaking ties.  Replicas holding the context *hot* are
+        always preferred over replicas that demoted it to their cold tier —
+        a cold hit pays the tier link on top of the serving link (its
+        modeled cost includes the tier read) but still beats a full miss's
+        re-prefill.  Serving off a cold replica promotes the context back to
+        hot there.  Down nodes and nodes that lost the context ahead of the
+        first live holder are recorded as attempted (that is a failover); a
+        live holder passed over for a faster or less loaded replica is not.
+        A live node probed without holding the context records a routing
+        miss, which is what per-node hit ratios measure.
         """
         self.stats.lookups += 1
         attempted: list[str] = []
-        candidates: list[StorageNode] = []
+        candidates: list[tuple[StorageNode, str]] = []
         for node_id in self.ring.preference_order(context_id):
             node = self._nodes[node_id]
             if not node.up:
                 if not candidates:
                     attempted.append(node_id)
                 continue
-            if context_id not in node.store:
+            tier = node.tier_of(context_id)
+            if tier is None:
                 if not candidates:
                     node.record_miss()
                     attempted.append(node_id)
                 continue
-            candidates.append(node)
+            candidates.append((node, tier))
         if not candidates:
             self.stats.full_misses += 1
             return Lookup(node=None, stored=None, attempted_node_ids=tuple(attempted))
 
         level_name = self.encoder.config.default_level.name
+        tier = HOT if any(t == HOT for _, t in candidates) else COLD
+        contenders = [node for node, t in candidates if t == tier]
+
+        def modeled_service_s(node: StorageNode) -> float:
+            num_bytes = node.store.peek_context(context_id).total_bytes(level_name)
+            service = node.estimated_service_s(num_bytes)
+            if tier == COLD:
+                service += node.cold_read_delay_s(num_bytes)
+            return service
+
         best = min(
-            enumerate(candidates),
-            key=lambda pair: (
-                pair[1].estimated_service_s(
-                    pair[1].store.peek_context(context_id).total_bytes(level_name)
-                ),
-                pair[0],
-            ),
+            enumerate(contenders), key=lambda pair: (modeled_service_s(pair[1]), pair[0])
         )[1]
         stored = best.store.get_context(context_id)
         self.stats.lookup_hits += 1
+        if tier == COLD:
+            self.stats.cold_lookup_hits += 1
         if attempted:
             self.stats.failovers += 1
         self.stats.per_node_locates[best.node_id] = (
             self.stats.per_node_locates.get(best.node_id, 0) + 1
         )
-        return Lookup(node=best, stored=stored, attempted_node_ids=tuple(attempted))
+        return Lookup(
+            node=best, stored=stored, attempted_node_ids=tuple(attempted), tier=tier
+        )
 
     def known_tokens(self, context_id: str) -> int | None:
         """Length of a context ever ingested, even if since evicted."""

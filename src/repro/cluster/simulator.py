@@ -25,10 +25,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from ..metrics.cluster import LatencySummary, NodeSummary, slo_attainment, summarize_latencies
+from ..metrics.cluster import (
+    LatencySummary,
+    NodeSummary,
+    slo_attainment,
+    storage_cost_per_request,
+    summarize_latencies,
+)
 from ..serving.concurrent import ConcurrentEngine
 from ..serving.pipeline import QueryResponse
 from ..storage.kv_store import CapacityError
+from ..storage.tiered import COLD, HOT
 from .frontend import ClusterFrontend
 from .workload import Request, WorkloadGenerator
 
@@ -58,6 +65,10 @@ class RequestRecord:
     queueing_s: float = 0.0
     transfer_s: float = 0.0
     compute_s: float = 0.0
+    #: Tier the serving replica held the context in (None for the text path).
+    served_tier: str | None = None
+    #: Serialized tier-link read a cold hit paid before streaming.
+    tier_transfer_s: float = 0.0
 
 
 @dataclass
@@ -82,6 +93,18 @@ class ClusterReport:
     #: Queueing-delay distribution across requests (all zeros when sequential).
     queueing: LatencySummary | None = None
     concurrency: int = 1
+    #: Tier traffic of this run (zeros on a single-tier cluster).
+    hot_served: int = 0
+    cold_served: int = 0
+    demotions: int = 0
+    promotions: int = 0
+    #: Bytes resident per tier when the run ended.
+    hot_bytes: float = 0.0
+    cold_bytes: float = 0.0
+    #: Appendix-E derived economics of the run ($/GB prices over resident
+    #: bytes, amortised over this run's requests; text serves pay recompute).
+    storage_cost_usd_per_month: float = 0.0
+    cost_usd_per_request: float = 0.0
 
     @property
     def hit_ratio(self) -> float:
@@ -89,6 +112,20 @@ class ClusterReport:
         if self.num_requests == 0:
             return 0.0
         return self.kv_served / self.num_requests
+
+    @property
+    def hot_hit_ratio(self) -> float:
+        """Fraction of requests served from a replica's hot tier."""
+        if self.num_requests == 0:
+            return 0.0
+        return self.hot_served / self.num_requests
+
+    @property
+    def cold_hit_ratio(self) -> float:
+        """Fraction of requests served off a replica's cold tier."""
+        if self.num_requests == 0:
+            return 0.0
+        return self.cold_served / self.num_requests
 
     @property
     def bytes_moved(self) -> float:
@@ -115,6 +152,16 @@ class ClusterReport:
                 f"queueing delay    p50={self.queueing.p50_s:.3f}s "
                 f"p95={self.queueing.p95_s:.3f}s mean={self.queueing.mean_s:.3f}s "
                 f"({self.concurrency} concurrent)"
+            )
+        if self.cold_served or self.demotions or self.promotions or self.cold_bytes:
+            lines.append(
+                f"tiers             hot={self.hot_served} cold={self.cold_served} "
+                f"demotions={self.demotions} promotions={self.promotions} "
+                f"(hot {self.hot_bytes / 1e6:.1f} MB, cold {self.cold_bytes / 1e6:.1f} MB)"
+            )
+            lines.append(
+                f"cost              ${self.storage_cost_usd_per_month:.4f}/month stored, "
+                f"${self.cost_usd_per_request:.6f}/request"
             )
         if self.slo_s is not None and self.slo_attainment is not None:
             lines.append(
@@ -203,6 +250,7 @@ class ClusterSimulator:
         self._failed_ingests = 0
         self._replication_bytes = 0.0
         evictions_before = self.frontend.cluster.total_evictions()
+        demotions_before, promotions_before = self._tier_counters()
 
         requests = list(self.workload.iter_requests(num_requests))
         if self.concurrency == 1:
@@ -213,6 +261,27 @@ class ClusterSimulator:
 
         ttfts = [record.ttft_s for record in records]
         kv_served = sum(1 for record in records if record.used_kv_cache)
+        hot_served = sum(1 for record in records if record.served_tier == HOT)
+        cold_served = sum(1 for record in records if record.served_tier == COLD)
+        demotions_after, promotions_after = self._tier_counters()
+        hot_bytes, cold_bytes = self._tier_bytes()
+        text_served = len(records) - kv_served
+        mean_tokens = (
+            int(sum(record.request.num_tokens for record in records) / len(records))
+            if records
+            else 0
+        )
+        cost_per_request = (
+            storage_cost_per_request(
+                hot_bytes,
+                cold_bytes,
+                num_requests,
+                reprefill_fraction=text_served / len(records) if records else 0.0,
+                mean_context_tokens=mean_tokens,
+            )
+            if num_requests > 0
+            else 0.0
+        )
         return ClusterReport(
             num_requests=num_requests,
             hard_failures=hard_failures,
@@ -239,9 +308,44 @@ class ClusterSimulator:
                 else None
             ),
             concurrency=self.concurrency,
+            hot_served=hot_served,
+            cold_served=cold_served,
+            demotions=demotions_after - demotions_before,
+            promotions=promotions_after - promotions_before,
+            hot_bytes=hot_bytes,
+            cold_bytes=cold_bytes,
+            storage_cost_usd_per_month=self._cost_model().monthly_storage_cost(
+                hot_bytes, cold_bytes
+            ),
+            cost_usd_per_request=cost_per_request,
         )
 
     # ------------------------------------------------------------------ pieces
+    def _tier_counters(self) -> tuple[int, int]:
+        """Cumulative (demotions, promotions) across the cluster's nodes."""
+        demotions = promotions = 0
+        for node in self.frontend.cluster.nodes.values():
+            if node.tiered:
+                demotions += node.store.demotion_count
+                promotions += node.store.promotion_count
+        return demotions, promotions
+
+    def _tier_bytes(self) -> tuple[float, float]:
+        """Bytes currently resident per tier across the cluster."""
+        hot = cold = 0.0
+        for node in self.frontend.cluster.nodes.values():
+            if node.tiered:
+                hot += node.store.hot_bytes()
+                cold += node.store.cold_bytes()
+            else:
+                hot += float(node.store.storage_bytes())
+        return hot, cold
+
+    @staticmethod
+    def _cost_model():
+        from ..storage.cost import TieredCostModel
+
+        return TieredCostModel()
     def _apply_topology_events(self, request: Request) -> None:
         if request.index in self.node_failures:
             self.frontend.mark_down(self.node_failures[request.index])
@@ -293,6 +397,8 @@ class ClusterSimulator:
             queueing_s=queueing_s,
             transfer_s=ttft.network_s,
             compute_s=ttft.decode_s + ttft.compute_s,
+            served_tier=getattr(response, "served_tier", None),
+            tier_transfer_s=getattr(response, "tier_transfer_s", 0.0),
         )
 
     # -------------------------------------------------------------- sequential

@@ -14,7 +14,7 @@ the *full-model* sizes the paper reports (see ``DESIGN.md``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 

@@ -26,6 +26,7 @@ from .figure18 import run_figure18
 from .figure19 import run_figure19
 from .table1 import run_table1
 from .table2 import run_table2
+from .tiered_storage import run_tiered_storage
 
 #: All experiment entry points keyed by the paper artefact they reproduce.
 ALL_EXPERIMENTS = {
@@ -48,6 +49,7 @@ ALL_EXPERIMENTS = {
     "figure18": run_figure18,
     "figure19": run_figure19,
     "appendix-e": run_appendix_e,
+    "tiered-storage": run_tiered_storage,
 }
 
 __all__ = [
@@ -74,4 +76,5 @@ __all__ = [
     "run_figure9",
     "run_table1",
     "run_table2",
+    "run_tiered_storage",
 ]

@@ -16,7 +16,15 @@ import numpy as np
 
 from .system import slo_violation_rate
 
-__all__ = ["LatencySummary", "NodeSummary", "summarize_latencies", "slo_attainment", "hit_ratio"]
+__all__ = [
+    "LatencySummary",
+    "NodeSummary",
+    "summarize_latencies",
+    "slo_attainment",
+    "hit_ratio",
+    "tier_hit_ratios",
+    "storage_cost_per_request",
+]
 
 
 @dataclass(frozen=True)
@@ -39,7 +47,13 @@ class LatencySummary:
 
 @dataclass(frozen=True)
 class NodeSummary:
-    """Cache behaviour of one storage node over a cluster run."""
+    """Cache behaviour of one storage node over a cluster run.
+
+    The tier fields stay zero for single-tier nodes: ``hits`` then equals
+    ``hot_hits`` and ``evictions`` counts outright drops.  On a tiered node
+    ``evictions`` counts only cold-tier drops (true losses); hot-tier
+    capacity pressure shows up as ``demotions`` instead.
+    """
 
     node_id: str
     requests_routed: int
@@ -49,10 +63,26 @@ class NodeSummary:
     stored_bytes: float
     contexts_resident: int
     up: bool
+    hot_hits: int = 0
+    cold_hits: int = 0
+    demotions: int = 0
+    promotions: int = 0
+    hot_bytes: float = 0.0
+    cold_bytes: float = 0.0
 
     @property
     def hit_ratio(self) -> float:
         return hit_ratio(self.hits, self.requests_routed)
+
+    @property
+    def hot_hit_ratio(self) -> float:
+        """Fraction of routed requests served from the hot tier."""
+        return hit_ratio(self.hot_hits, self.requests_routed)
+
+    @property
+    def cold_hit_ratio(self) -> float:
+        """Fraction of routed requests served off the cold tier."""
+        return hit_ratio(self.cold_hits, self.requests_routed)
 
 
 def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
@@ -86,3 +116,41 @@ def hit_ratio(hits: int, total: int) -> float:
     if total == 0:
         return 0.0
     return hits / total
+
+
+def tier_hit_ratios(hot_hits: int, cold_hits: int, num_requests: int) -> tuple[float, float]:
+    """Per-tier hit ratios of a run (hot, cold) over all requests."""
+    return (
+        hit_ratio(hot_hits, num_requests),
+        hit_ratio(cold_hits, num_requests),
+    )
+
+
+def storage_cost_per_request(
+    hot_bytes: float,
+    cold_bytes: float,
+    num_requests: int,
+    reprefill_fraction: float = 0.0,
+    mean_context_tokens: int = 0,
+    cost_model=None,
+) -> float:
+    """$/GB-derived serving cost per request of a cluster run.
+
+    Treats the run's request count as one month of traffic against the bytes
+    resident when it ended: storage dollars amortise over the requests, and
+    every full miss re-pays Appendix E's recompute price for the mean context.
+    ``cost_model`` defaults to :class:`~repro.storage.cost.TieredCostModel`'s
+    reference prices.
+    """
+    from ..storage.cost import TieredCostModel
+
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    model = cost_model or TieredCostModel()
+    return model.cost_per_request(
+        hot_bytes=hot_bytes,
+        cold_bytes=cold_bytes,
+        requests_per_month=float(num_requests),
+        reprefill_fraction=reprefill_fraction,
+        num_tokens=mean_context_tokens,
+    )

@@ -19,7 +19,7 @@ replaces both with a discrete-event simulation in which contention *emerges*:
 
 from .engine import ConcurrentEngine, ConcurrentQueryResponse
 from .events import SimClock
-from .processes import ChunkedKVLoad, LoadProcess, LoadStage, StaticLoad
+from .processes import TIER_CONFIG, ChunkedKVLoad, LoadProcess, LoadStage, StaticLoad
 from .resources import DECODE, PREFILL, GpuScheduler, GpuTask, LinkChannel
 from .simulator import ConcurrentLoadSimulator, RequestTimeline, StageRecord
 
@@ -39,4 +39,5 @@ __all__ = [
     "SimClock",
     "StageRecord",
     "StaticLoad",
+    "TIER_CONFIG",
 ]

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING
 from ...metrics.system import QueueingTTFTBreakdown
 from ...streaming.adaptation import FixedLevelPolicy, SLOAwareAdapter
 from ..pipeline import QueryResponse
-from .processes import ChunkedKVLoad, StaticLoad
+from .processes import TIER_CONFIG, ChunkedKVLoad, LoadStage, StaticLoad
 from .resources import DECODE, PREFILL
 from .simulator import ConcurrentLoadSimulator, RequestTimeline
 
@@ -33,6 +33,12 @@ if TYPE_CHECKING:  # avoid a circular import; the engine is only composed with
     from ..engine import ContextLoadingEngine
 
 __all__ = ["ConcurrentQueryResponse", "ConcurrentEngine"]
+
+#: Tier labels, mirroring :data:`repro.storage.tiered.HOT`/``COLD``.  Spelled
+#: out here because ``repro.storage`` imports the streaming package (which
+#: imports this one) — importing it back at module level would be a cycle.
+HOT = "hot"
+COLD = "cold"
 
 
 @dataclass
@@ -43,6 +49,10 @@ class ConcurrentQueryResponse(QueryResponse):
     failed_over: bool = False
     arrival_s: float = 0.0
     finish_s: float = 0.0
+    #: Tier the serving replica held the context in (None for the text path).
+    served_tier: str | None = None
+    #: Serialized cold-tier read time inside the TTFT's transfer component.
+    tier_transfer_s: float = 0.0
 
     @property
     def queueing_s(self) -> float:
@@ -70,6 +80,8 @@ class _Resolution:
     stored: object | None = None
     node: object | None = None  # StorageNode in cluster mode
     failed_over: bool = False
+    #: Tier the replica held the context in when routing was decided.
+    tier: str | None = None
 
 
 class ConcurrentEngine:
@@ -190,7 +202,9 @@ class ConcurrentEngine:
         # fallback path would otherwise count the same hits again).
         for resolution, timeline in zip(resolutions, timelines):
             if resolution.use_kv and resolution.node is not None:
-                resolution.node.record_hit(timeline.total_bytes)
+                resolution.node.record_hit(
+                    timeline.served_bytes, tier=resolution.tier or HOT
+                )
         return responses
 
     # ----------------------------------------------------------------- resolve
@@ -208,8 +222,17 @@ class ConcurrentEngine:
             lookup = cluster.locate(submission.context_id)
             if lookup.found:
                 node, stored = lookup.node, lookup.stored
+                tier_read_s = 0.0
+                if lookup.cold_hit:
+                    level_name = engine.config.default_level.name
+                    tier_read_s = node.cold_read_delay_s(
+                        stored.total_bytes(level_name)
+                    )
                 if not engine._prefer_text_path(
-                    stored.num_tokens, kv_link=node.link, text_link=engine.link
+                    stored.num_tokens,
+                    kv_link=node.link,
+                    text_link=engine.link,
+                    kv_extra_s=tier_read_s,
                 ):
                     return _Resolution(
                         use_kv=True,
@@ -217,6 +240,7 @@ class ConcurrentEngine:
                         stored=stored,
                         node=node,
                         failed_over=lookup.failed_over,
+                        tier=lookup.tier,
                     )
                 num_tokens = stored.num_tokens
             if num_tokens is None:
@@ -225,7 +249,7 @@ class ConcurrentEngine:
             stored = engine.store.get_context(submission.context_id)
             if not engine._prefer_text_path(stored.num_tokens):
                 return _Resolution(
-                    use_kv=True, num_tokens=stored.num_tokens, stored=stored
+                    use_kv=True, num_tokens=stored.num_tokens, stored=stored, tier=HOT
                 )
             num_tokens = stored.num_tokens
 
@@ -250,6 +274,19 @@ class ConcurrentEngine:
             batch_key = (
                 resolution.node.node_id if resolution.node is not None else "local-gpu"
             )
+            # A cold hit reads the bitstreams off the replica's tier link
+            # before the serving link sees the first byte; concurrent cold
+            # hits on the same node serialize on that node's tier channel.
+            prologue: list[LoadStage] = []
+            if resolution.tier == COLD and resolution.node is not None:
+                level_name = engine.config.default_level.name
+                prologue.append(
+                    LoadStage(
+                        config=TIER_CONFIG,
+                        num_bytes=resolution.stored.total_bytes(level_name),
+                        link=resolution.node.store.tier_link,
+                    )
+                )
             process = ChunkedKVLoad(
                 resolution.stored.chunks,
                 policy=policy,
@@ -257,6 +294,7 @@ class ConcurrentEngine:
                 slo_s=submission.slo_s,
                 prompt_tokens=prompt_tokens,
                 batch_key=batch_key,
+                prologue=prologue,
             )
             return process, link, link.trace.bandwidth_at(0.0)
         link = engine.link
@@ -312,9 +350,11 @@ class ConcurrentEngine:
             ttft=ttft,
             used_kv_cache=resolution.use_kv,
             chunk_configs=chunk_configs,
-            transmitted_bytes=timeline.total_bytes,
+            transmitted_bytes=timeline.served_bytes,
             served_by=served_by,
             failed_over=resolution.failed_over,
             arrival_s=timeline.arrival_s,
             finish_s=timeline.finish_s,
+            served_tier=resolution.tier if resolution.use_kv else None,
+            tier_transfer_s=timeline.tier_transfer_s,
         )

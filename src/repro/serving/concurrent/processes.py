@@ -19,14 +19,27 @@ from typing import Protocol, Sequence
 from ...core.decoder import CacheGenDecoder
 from ...core.kv_cache import KVCache
 from ...llm.compute_model import ComputeModel
+from ...network.link import NetworkLink
 from ...streaming.adaptation import AdaptationPolicy, StreamDecision, TEXT_CONFIG
 from ...streaming.chunking import PreparedChunk
 from .resources import DECODE, PREFILL
 
-__all__ = ["LoadStage", "LoadProcess", "StaticLoad", "ChunkedKVLoad", "PROMPT_CONFIG"]
+__all__ = [
+    "LoadStage",
+    "LoadProcess",
+    "StaticLoad",
+    "ChunkedKVLoad",
+    "PROMPT_CONFIG",
+    "TIER_CONFIG",
+]
 
 #: Stage name of the final user-prompt prefill.
 PROMPT_CONFIG = "prompt"
+
+#: Stage name of a cold-tier read (disk/object store -> node memory).  Tier
+#: stages move bytes over the node's *tier* link, not its serving link, and
+#: are excluded from a request's transmitted-bytes accounting.
+TIER_CONFIG = "cold-tier"
 
 
 @dataclass(frozen=True)
@@ -48,6 +61,11 @@ class LoadStage:
         the scheduler's business).
     batch_key:
         Decodes sharing a batch key may be coalesced into one launch.
+    link:
+        Optional link override: the transfer runs over this link's FIFO
+        channel instead of the request's serving link.  Cold-tier reads use
+        it so concurrent cold hits on the same node serialize on that node's
+        tier link while other requests stream over their serving links.
     """
 
     config: str
@@ -55,6 +73,7 @@ class LoadStage:
     gpu_kind: str | None = None
     gpu_s: float = 0.0
     batch_key: str | None = None
+    link: NetworkLink | None = None
 
 
 class LoadProcess(Protocol):
@@ -161,6 +180,9 @@ class ChunkedKVLoad:
     batch_key:
         Batching domain of this request's decodes (the serving node id);
         decodes of co-located requests may share one batched launch.
+    prologue:
+        Stages issued before the first chunk, bypassing the adaptation
+        policy.  A cold-tier hit prepends the serialized tier-link read here.
     """
 
     def __init__(
@@ -171,6 +193,7 @@ class ChunkedKVLoad:
         slo_s: float | None = None,
         prompt_tokens: int = 0,
         batch_key: str | None = None,
+        prologue: Sequence[LoadStage] = (),
     ) -> None:
         if not prepared:
             raise ValueError("no chunks to stream")
@@ -181,12 +204,15 @@ class ChunkedKVLoad:
         self.prompt_tokens = prompt_tokens
         self.batch_key = batch_key
         self.decisions: list[StreamDecision] = []
+        self._prologue = list(prologue)
         self._position = 0
         self._prompt_issued = False
 
     def next_stage(
         self, throughput_bps: float, elapsed_s: float, concurrency: int
     ) -> LoadStage | None:
+        if self._prologue:
+            return self._prologue.pop(0)
         if self._position < len(self.prepared):
             remaining = self.prepared[self._position :]
             remaining_time = (

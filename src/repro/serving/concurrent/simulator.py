@@ -23,7 +23,7 @@ from typing import Deque
 
 from ...network.link import NetworkLink, TransferResult
 from .events import SimClock
-from .processes import LoadProcess, LoadStage
+from .processes import TIER_CONFIG, LoadProcess, LoadStage
 from .resources import GpuScheduler, GpuTask, LinkChannel
 
 __all__ = ["StageRecord", "RequestTimeline", "ConcurrentLoadSimulator"]
@@ -91,6 +91,22 @@ class RequestTimeline:
     @property
     def total_bytes(self) -> float:
         return sum(stage.num_bytes for stage in self.stages)
+
+    @property
+    def served_bytes(self) -> float:
+        """Bytes shipped over the serving link (cold-tier reads excluded)."""
+        return sum(
+            stage.num_bytes for stage in self.stages if stage.config != TIER_CONFIG
+        )
+
+    @property
+    def tier_transfer_s(self) -> float:
+        """Serialized cold-tier read time this request paid."""
+        return sum(
+            stage.transfer_end_s - stage.transfer_start_s
+            for stage in self.stages
+            if stage.config == TIER_CONFIG
+        )
 
     @property
     def configs(self) -> list[str]:
@@ -222,6 +238,12 @@ class ConcurrentLoadSimulator:
             if admission_queue:
                 admit(admission_queue.popleft())
 
+        def channel_for(link: NetworkLink) -> LinkChannel:
+            channel = channels.get(id(link))
+            if channel is None:
+                channel = channels[id(link)] = LinkChannel(clock, link)
+            return channel
+
         def advance(state: _RequestState) -> None:
             stage = state.process.next_stage(
                 throughput_bps=state.throughput_bps,
@@ -233,7 +255,11 @@ class ConcurrentLoadSimulator:
                 return
             enqueued_s = clock.now
             if stage.num_bytes > 0:
-                state.channel.request(
+                # A stage may override the request's serving link (a cold-tier
+                # read moves bytes over the node's tier link); transfers on the
+                # same link still serialize through one FIFO channel.
+                channel = state.channel if stage.link is None else channel_for(stage.link)
+                channel.request(
                     stage.num_bytes,
                     lambda transfer, wait_s: after_transfer(
                         state, stage, enqueued_s, transfer, wait_s
@@ -252,7 +278,10 @@ class ConcurrentLoadSimulator:
             transfer: TransferResult,
             link_wait_s: float,
         ) -> None:
-            if transfer.num_bytes > 0 and transfer.duration > 0:
+            # Only serving-link transfers update the measured throughput: the
+            # adapter estimates the bandwidth of the link the next chunk will
+            # use, and a tier-link read says nothing about it.
+            if stage.link is None and transfer.num_bytes > 0 and transfer.duration > 0:
                 state.throughput_bps = max(transfer.achieved_throughput_bps, 1.0)
             if stage.gpu_kind is not None:
                 gpu.submit(

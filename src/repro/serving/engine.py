@@ -200,11 +200,14 @@ class ContextLoadingEngine:
         num_tokens: int,
         kv_link: NetworkLink | None = None,
         text_link: NetworkLink | None = None,
+        kv_extra_s: float = 0.0,
     ) -> bool:
         """Short contexts load faster as text than as KV bitstreams (§7.3).
 
         The two paths may use different links (in a cluster the KV bitstreams
         come from a storage node, the text from the document store).
+        ``kv_extra_s`` charges the KV path for delays beyond the serving link
+        — a cold-tier hit pays the node's tier link before streaming starts.
         """
         parts = self._parts
         kv_link = kv_link or self.link
@@ -214,7 +217,11 @@ class ContextLoadingEngine:
             num_tokens
         )
         kv_bytes = self.model.kv_cache_bytes(num_tokens, bits_per_element=2.4)
-        kv_ttft = kv_link.estimate_transfer_time(kv_bytes) + parts.compute.decode_delay(num_tokens)
+        kv_ttft = (
+            kv_link.estimate_transfer_time(kv_bytes)
+            + parts.compute.decode_delay(num_tokens)
+            + kv_extra_s
+        )
         return text_ttft < kv_ttft
 
     def _query_with_kv(
@@ -225,6 +232,7 @@ class ContextLoadingEngine:
         task: str,
         slo_s: float | None,
         link: NetworkLink | None = None,
+        extra_network_s: float = 0.0,
     ) -> QueryResponse:
         parts = self._parts
         link = link or self.link
@@ -237,8 +245,11 @@ class ContextLoadingEngine:
             policy = SLOAwareAdapter(level_names=[level.name for level in self.config.levels])
         else:
             policy = FixedLevelPolicy(level_name=self.config.default_level.name)
+        # A cold-tier hit serializes the tier read before streaming, shrinking
+        # the SLO budget the adapter has left for the serving link.
+        streaming_slo = None if slo_s is None else max(slo_s - extra_network_s, 0.0)
         streamed = streamer.stream(
-            stored.chunks, link=link, policy=policy, slo_s=slo_s, reconstruct=True
+            stored.chunks, link=link, policy=policy, slo_s=streaming_slo, reconstruct=True
         )
         assert streamed.kv is not None
         reference_kv = self._reference_kv(stored.context_id, stored.num_tokens)
@@ -246,7 +257,7 @@ class ContextLoadingEngine:
             streamed.kv, reference_kv=reference_kv, task=task
         )
         ttft = TTFTBreakdown(
-            network_s=streamed.network_time_s,
+            network_s=streamed.network_time_s + extra_network_s,
             decode_s=max(streamed.total_time_s - streamed.network_time_s, 0.0),
             compute_s=parts.compute.prefill_delay(prompt_tokens),
         )

@@ -1,19 +1,41 @@
-"""Storage substrate: the KV cache store, eviction policies and cost model."""
+"""Storage substrate: KV cache stores (hot and tiered), eviction and cost."""
 
-from .cost import CostAnalysis, CostModel, PricingModel
+from .cost import CostAnalysis, CostModel, PricingModel, TieredCostModel, TieredPricingModel
 from .eviction import CostAwarePolicy, EvictionPolicy, LFUPolicy, LRUPolicy, make_policy
 from .kv_store import CapacityError, KVCacheStore, StoredContext
+from .tiered import (
+    COLD,
+    HOT,
+    AlwaysHotPlacement,
+    CostAwarePlacement,
+    DiskKVStore,
+    PlacementPolicy,
+    TieredKVStore,
+    TierStats,
+    make_placement,
+)
 
 __all__ = [
+    "COLD",
+    "HOT",
+    "AlwaysHotPlacement",
     "CapacityError",
     "CostAnalysis",
+    "CostAwarePlacement",
     "CostAwarePolicy",
     "CostModel",
+    "DiskKVStore",
     "EvictionPolicy",
     "KVCacheStore",
     "LFUPolicy",
     "LRUPolicy",
+    "PlacementPolicy",
     "PricingModel",
     "StoredContext",
+    "TierStats",
+    "TieredCostModel",
+    "TieredKVStore",
+    "TieredPricingModel",
+    "make_placement",
     "make_policy",
 ]

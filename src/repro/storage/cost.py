@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from ..llm.model_config import ModelConfig
 
-__all__ = ["PricingModel", "CostAnalysis", "CostModel"]
+__all__ = ["PricingModel", "TieredPricingModel", "CostAnalysis", "CostModel", "TieredCostModel"]
 
 
 @dataclass(frozen=True)
@@ -34,6 +34,27 @@ class PricingModel:
     def __post_init__(self) -> None:
         if self.storage_usd_per_gb_month <= 0 or self.inference_usd_per_1k_input_tokens <= 0:
             raise ValueError("prices must be positive")
+
+
+@dataclass(frozen=True)
+class TieredPricingModel(PricingModel):
+    """Prices for a two-tier storage hierarchy.
+
+    The hot tier is the node-memory price Appendix E uses for its headline
+    estimate; the cold tier is the cheaper, slower disk/object-store class the
+    appendix prices as the alternative (S3 infrequent-access territory,
+    ~$0.004/GB-month).  A demote-instead-of-drop hierarchy trades the tier
+    link's extra latency for this price gap.
+    """
+
+    cold_storage_usd_per_gb_month: float = 0.004
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.cold_storage_usd_per_gb_month <= 0:
+            raise ValueError("prices must be positive")
+        if self.cold_storage_usd_per_gb_month > self.storage_usd_per_gb_month:
+            raise ValueError("the cold tier must not cost more than the hot tier")
 
 
 @dataclass(frozen=True)
@@ -100,3 +121,49 @@ class CostModel:
             recompute_usd_per_request=recompute_per_request,
             breakeven_requests_per_month=breakeven,
         )
+
+
+class TieredCostModel(CostModel):
+    """Cost model over a hot/cold storage hierarchy (Appendix E, both tiers).
+
+    Extends the flat model with the cold tier's $/GB-month price, the monthly
+    bill of a mixed-tier placement, and the per-request cost a serving run
+    derives from it ($/GB storage amortised over the requests it served, plus
+    the recompute price of every request that had to re-prefill from text).
+    """
+
+    def __init__(self, pricing: TieredPricingModel | None = None) -> None:
+        super().__init__(pricing or TieredPricingModel())
+
+    def cold_storage_cost_per_month(self, stored_bytes: float) -> float:
+        """Monthly cost (USD) of keeping ``stored_bytes`` on the cold tier."""
+        if stored_bytes < 0:
+            raise ValueError("stored_bytes must be non-negative")
+        return stored_bytes / 1e9 * self.pricing.cold_storage_usd_per_gb_month
+
+    def monthly_storage_cost(self, hot_bytes: float, cold_bytes: float) -> float:
+        """Monthly bill of a placement split across both tiers."""
+        return self.storage_cost_per_month(hot_bytes) + self.cold_storage_cost_per_month(
+            cold_bytes
+        )
+
+    def cost_per_request(
+        self,
+        hot_bytes: float,
+        cold_bytes: float,
+        requests_per_month: float,
+        reprefill_fraction: float = 0.0,
+        num_tokens: int = 0,
+    ) -> float:
+        """Serving cost per request at a given monthly request rate.
+
+        ``reprefill_fraction`` is the share of requests that missed both tiers
+        and re-prefilled ``num_tokens`` of context from text.
+        """
+        if requests_per_month <= 0:
+            raise ValueError("requests_per_month must be positive")
+        if not 0.0 <= reprefill_fraction <= 1.0:
+            raise ValueError("reprefill_fraction must be in [0, 1]")
+        storage = self.monthly_storage_cost(hot_bytes, cold_bytes) / requests_per_month
+        recompute = reprefill_fraction * self.recompute_cost_per_request(num_tokens)
+        return storage + recompute

@@ -16,7 +16,7 @@ make room for new ones, which is what the cluster nodes in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
 from ..core.encoder import CacheGenEncoder, EncodedKV
 from ..core.kv_cache import KVCache
@@ -69,6 +69,11 @@ class KVCacheStore:
     eviction_policy:
         Policy consulted when a store over budget must pick a victim.
         Defaults to LRU when ``max_bytes`` is set.
+    capacity_evict_sink:
+        Optional callback receiving every context removed under capacity
+        pressure.  A :class:`~repro.storage.tiered.TieredKVStore` installs one
+        to *demote* victims to its cold tier instead of losing them; without a
+        sink, capacity evictions drop the context outright.
     """
 
     def __init__(
@@ -76,6 +81,7 @@ class KVCacheStore:
         encoder: CacheGenEncoder,
         max_bytes: float | None = None,
         eviction_policy: EvictionPolicy | None = None,
+        capacity_evict_sink: Callable[[StoredContext], None] | None = None,
     ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive (or None for unbounded)")
@@ -84,6 +90,7 @@ class KVCacheStore:
         if eviction_policy is None and max_bytes is not None:
             eviction_policy = LRUPolicy()
         self.eviction_policy = eviction_policy
+        self.capacity_evict_sink = capacity_evict_sink
         self._contexts: dict[str, StoredContext] = {}
         self._total_bytes = 0.0
         self._eviction_count = 0
@@ -140,6 +147,8 @@ class KVCacheStore:
         if capacity_eviction:
             self._eviction_count += 1
             self._evicted_ids.append(context_id)
+            if self.capacity_evict_sink is not None:
+                self.capacity_evict_sink(stored)
         return True
 
     def _enforce_capacity(self, protect: str) -> None:
@@ -217,6 +226,17 @@ class KVCacheStore:
     def evicted_context_ids(self) -> list[str]:
         """Context ids evicted under capacity pressure, oldest first."""
         return list(self._evicted_ids)
+
+    def migration_headroom_bytes(self) -> float:
+        """Bytes a migration can add without triggering capacity eviction.
+
+        Rebalancing (``ShardedKVStore.add_node``) must fill a node, never
+        churn it; this is the budget it may fill.  Unbounded stores report
+        infinite headroom.
+        """
+        if self.max_bytes is None:
+            return float("inf")
+        return max(self.max_bytes - self._total_bytes, 0.0)
 
     def storage_bytes(self, per_level: bool = False) -> float | Mapping[str, float]:
         """Total stored bytes, optionally broken down by encoding level.

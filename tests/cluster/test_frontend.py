@@ -95,3 +95,68 @@ class TestHeterogeneousLinks:
         slow = frontend.query("doc", "q?")
         by_node = {fast.served_by: fast, slow.served_by: slow}
         assert by_node["node-1"].ttft_s > by_node["node-0"].ttft_s
+
+
+class TestTieredFrontend:
+    @pytest.fixture()
+    def tight_frontend(self):
+        """Hot tiers sized so two long contexts cannot both stay hot."""
+        config = CacheGenConfig(chunk_tokens=1_024)
+        probe = ClusterFrontend("mistral-7b", node_links=1, config=config)
+        probe.ingest("probe", TOKENS)
+        one = float(next(iter(probe.nodes.values())).store.storage_bytes())
+        links = [NetworkLink(ConstantTrace(gbps(3.0))) for _ in range(2)]
+        return ClusterFrontend(
+            "mistral-7b",
+            node_links=links,
+            replication_factor=2,
+            max_bytes_per_node=1.2 * one,
+            cold_bytes_per_node=10 * one,
+            config=config,
+        )
+
+    def test_pressure_demotes_and_cold_hit_serves_kv(self, tight_frontend):
+        tight_frontend.ingest("doc-a", TOKENS)
+        tight_frontend.ingest("doc-b", TOKENS)  # demotes doc-a on both nodes
+        for node in tight_frontend.nodes.values():
+            assert node.store.eviction_count == 0
+        response = tight_frontend.query("doc-a", "What does it say?")
+        assert response.used_kv_cache
+        assert response.served_tier == "cold"
+        assert response.tier_transfer_s > 0.0
+        # The tier read is part of the reported TTFT's network component.
+        assert response.ttft.network_s >= response.tier_transfer_s
+
+    def test_cold_hit_slower_than_hot_hit_faster_than_text(self, tight_frontend):
+        tight_frontend.ingest("doc-a", TOKENS)
+        hot = tight_frontend.query("doc-a", "Q?")
+        assert hot.served_tier == "hot"
+        tight_frontend.ingest("doc-b", TOKENS)  # demotes doc-a
+        cold = tight_frontend.query("doc-a", "Q?")
+        assert cold.served_tier == "cold"
+        assert cold.ttft_s > hot.ttft_s
+        text = tight_frontend._query_with_text("doc-x", "Q?", TOKENS, 4, "qa_accuracy")
+        assert cold.ttft_s < text.ttft_s
+
+    def test_promotion_visible_on_next_query(self, tight_frontend):
+        tight_frontend.ingest("doc-a", TOKENS)
+        tight_frontend.ingest("doc-b", TOKENS)
+        first = tight_frontend.query("doc-a", "Q?")
+        second = tight_frontend.query("doc-a", "Q?")
+        assert first.served_tier == "cold"
+        assert second.served_tier == "hot"
+        assert second.ttft_s < first.ttft_s
+
+    def test_cold_tier_requires_bounded_hot_tier(self):
+        with pytest.raises(ValueError):
+            ClusterFrontend("mistral-7b", node_links=2, cold_bytes_per_node=1e9)
+
+    def test_tier_links_must_match_node_count(self):
+        with pytest.raises(ValueError):
+            ClusterFrontend(
+                "mistral-7b",
+                node_links=2,
+                max_bytes_per_node=1e9,
+                cold_bytes_per_node=1e9,
+                tier_links=[NetworkLink()],
+            )

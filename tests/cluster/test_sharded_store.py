@@ -6,7 +6,7 @@ import pytest
 
 from repro.cluster import ShardedKVStore, StorageNode
 from repro.network import ConstantTrace, NetworkLink, gbps
-from repro.storage import KVCacheStore, LRUPolicy
+from repro.storage import DiskKVStore, KVCacheStore, LRUPolicy, TieredKVStore
 
 
 def _node(
@@ -211,3 +211,108 @@ class TestCapacityPressure:
         cluster.store_kv("doc", kv)
         assert cluster.evict("doc") == 2
         assert "doc" not in cluster
+
+
+def _tiered_node(
+    encoder,
+    node_id: str,
+    hot_bytes: float,
+    cold_bytes: float | None = None,
+    link: NetworkLink | None = None,
+    tier_link: NetworkLink | None = None,
+) -> StorageNode:
+    hot = KVCacheStore(encoder, max_bytes=hot_bytes, eviction_policy=LRUPolicy())
+    cold = DiskKVStore(max_bytes=cold_bytes, link=tier_link)
+    return StorageNode(node_id, TieredKVStore(hot, cold), link=link)
+
+
+class TestTieredCluster:
+    def _sized(self, encoder, llm):
+        kv = llm.calculate_kv("sizing-probe", 320)
+        return KVCacheStore(encoder).store_kv("probe", kv).total_bytes()
+
+    def test_locate_prefers_hot_replica_over_cold(self, encoder, llm):
+        """Failover order: hot replica first, cold tier only when no hot copy."""
+        one = self._sized(encoder, llm)
+        nodes = [
+            _tiered_node(encoder, "node-0", hot_bytes=1.2 * one),
+            _tiered_node(encoder, "node-1", hot_bytes=1.2 * one),
+        ]
+        cluster = ShardedKVStore(encoder, nodes, replication_factor=2)
+        cluster.store_kv("doc", llm.calculate_kv("doc", 320))
+        # Demote the ring-preferred replica's copy to its cold tier.
+        primary = cluster.ring.node_for("doc")
+        backup = next(nid for nid in cluster.nodes if nid != primary)
+        cluster.nodes[primary].store.hot.evict("doc")
+        cluster.nodes[primary].store.cold.store_prepared(
+            cluster.nodes[backup].store.peek_context("doc")
+        )
+        lookup = cluster.locate("doc")
+        assert lookup.tier == "hot"
+        assert lookup.node.node_id == backup
+        assert not lookup.cold_hit
+
+    def test_cold_hit_promotes_on_the_serving_node(self, encoder, llm):
+        one = self._sized(encoder, llm)
+        nodes = [
+            _tiered_node(encoder, f"node-{i}", hot_bytes=1.2 * one) for i in range(2)
+        ]
+        cluster = ShardedKVStore(encoder, nodes, replication_factor=2)
+        cluster.store_kv("doc-0", llm.calculate_kv("doc-0", 320))
+        cluster.store_kv("doc-1", llm.calculate_kv("doc-1", 320))  # demotes doc-0
+        for node in nodes:
+            node.store.flush_demotions()
+        assert all(node.store.tier_of("doc-0") == "cold" for node in nodes)
+        lookup = cluster.locate("doc-0")
+        assert lookup.cold_hit
+        assert lookup.node.store.tier_of("doc-0") == "hot"
+        assert cluster.stats.cold_lookup_hits == 1
+
+    def test_capacity_pressure_demotes_and_serves_without_text_fallback(
+        self, encoder, llm
+    ):
+        one = self._sized(encoder, llm)
+        nodes = [
+            _tiered_node(encoder, f"node-{i}", hot_bytes=2.2 * one) for i in range(2)
+        ]
+        cluster = ShardedKVStore(encoder, nodes, replication_factor=2)
+        for i in range(4):
+            cluster.store_kv(f"doc-{i}", llm.calculate_kv(f"doc-{i}", 320))
+        # Everything is still resident somewhere: no full misses, no drops.
+        assert cluster.total_evictions() == 0
+        for i in range(4):
+            assert cluster.locate(f"doc-{i}").found
+        assert cluster.stats.full_misses == 0
+
+    def test_rebalance_counts_in_flight_demotions(self, encoder, llm):
+        """The capacity guard must see write-buffer bytes, or the joining
+        node's hot tier over-fills and churns earlier migrants."""
+        one = self._sized(encoder, llm)
+        nodes = [_node(encoder, f"node-{i}") for i in range(3)]
+        cluster = ShardedKVStore(encoder, nodes, replication_factor=2)
+        for i in range(6):
+            cluster.store_kv(f"doc-{i}", llm.calculate_kv(f"doc-{i}", 320))
+        joining = _tiered_node(encoder, "node-3", hot_bytes=2.5 * one)
+        # Pre-fill the joining node so its write buffer holds one in-flight
+        # demotion: hot fits 2 contexts, the third's victim awaits write-back.
+        for i in range(3):
+            joining.store.store_kv(f"warm-{i}", llm.calculate_kv(f"warm-{i}", 320))
+        assert joining.store.pending_demotion_bytes > 0
+        headroom = joining.store.migration_headroom_bytes()
+        assert headroom < one  # no room for a migration right now
+        hot_resident_before = set(joining.store.hot.context_ids())
+        cluster.add_node(joining)
+        # The guard skipped every migration: nothing demoted the warm set.
+        assert set(joining.store.hot.context_ids()) == hot_resident_before
+        for i in range(6):
+            assert len(cluster.replicas_for(f"doc-{i}")) >= 2
+
+    def test_rebalance_fills_tiered_node_with_headroom(self, encoder, llm):
+        nodes = [_node(encoder, f"node-{i}") for i in range(3)]
+        cluster = ShardedKVStore(encoder, nodes, replication_factor=2)
+        for i in range(6):
+            cluster.store_kv(f"doc-{i}", llm.calculate_kv(f"doc-{i}", 320))
+        joining = _tiered_node(encoder, "node-3", hot_bytes=1e9)
+        report = cluster.add_node(joining)
+        assert report.contexts_moved > 0
+        assert joining.store.demotion_count == 0

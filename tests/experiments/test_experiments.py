@@ -24,6 +24,7 @@ from repro.experiments import (
     run_figure8,
     run_table1,
     run_table2,
+    run_tiered_storage,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -37,7 +38,7 @@ def by_method(result, key="method"):
 
 class TestHarnessBasics:
     def test_registry_covers_every_artifact(self):
-        assert len(ALL_EXPERIMENTS) == 19
+        assert len(ALL_EXPERIMENTS) == 20
 
     def test_experiment_result_helpers(self):
         result = ExperimentResult(name="x", description="demo")
@@ -144,3 +145,31 @@ class TestFigures:
         result = run_appendix_e()
         assert result.metadata["breakeven_requests_per_month"] < 500
         assert result.filter(requests_per_month=1_000)[0]["caching_is_cheaper"]
+
+    def test_appendix_e_cold_tier_breaks_even_earlier(self):
+        result = run_appendix_e()
+        assert (
+            result.metadata["cold_breakeven_requests_per_month"]
+            < result.metadata["breakeven_requests_per_month"]
+        )
+        row = result.filter(requests_per_month=50)[0]
+        assert row["cold_storage_usd_per_month"] < row["storage_usd_per_month"]
+
+    def test_tiered_storage_sweep_shape(self):
+        result = run_tiered_storage(
+            hot_fractions=(1.0, 0.25), num_requests=24, num_contexts=6, concurrency=3
+        )
+        baseline = result.filter(hot_fraction=1.0)[0]
+        tiered = result.filter(hot_fraction=0.25)[0]
+        # The single-tier baseline never demotes; the tiered split demotes
+        # under pressure instead of dropping, and reports cold hits.
+        assert baseline["demotions"] == 0 and baseline["cold_hit_ratio"] == 0.0
+        assert tiered["demotions"] > 0
+        assert tiered["evict_drops"] == 0
+        assert tiered["cold_hit_ratio"] > 0.0
+        assert tiered["hot_hit_ratio"] + tiered["cold_hit_ratio"] == pytest.approx(
+            tiered["hit_ratio"]
+        )
+        # Shifting budget to the cheaper tier cuts the storage bill.
+        assert tiered["storage_usd_per_month"] < baseline["storage_usd_per_month"]
+        assert tiered["cost_usd_per_request"] > 0.0

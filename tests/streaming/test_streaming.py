@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import KVCache
 from repro.network import ConstantTrace, NetworkLink, StepTrace, gbps
 from repro.streaming import (
     TEXT_CONFIG,
