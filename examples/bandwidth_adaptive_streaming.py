@@ -14,14 +14,23 @@ Run with ``python examples/bandwidth_adaptive_streaming.py``.
 
 from __future__ import annotations
 
+import os
+
 from repro import NetworkLink, StepTrace, gbps
 from repro.baselines import UniformQuantizationBaseline
 from repro.experiments.common import Workbench
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
 
 def main() -> None:
     slo_s = 6.0
-    workbench = Workbench(model="mistral-7b", dataset="longchat", num_contexts=1)
+    workbench = Workbench(
+        model="mistral-7b",
+        dataset="longchat",
+        num_contexts=1,
+        context_token_cap=2_400 if SMOKE else None,
+    )
     record = workbench.records[0]
     print(
         f"Streaming the KV cache of a {record.num_tokens}-token chat history "

@@ -2,35 +2,47 @@
 
 In chat applications the accumulated history is prepended to every new user
 turn (§2.2).  This example simulates a session in which the history grows turn
-by turn; after every turn the engine re-ingests the updated history, and each
-new user message reuses the cached KV instead of re-prefilling thousands of
-tokens.  It also reports the Appendix-E style economics of keeping the cache.
+by turn; after every turn the serving backend re-ingests the updated history,
+and each new user message reuses the cached KV instead of re-prefilling
+thousands of tokens.  It also reports the Appendix-E style economics of
+keeping the cache.
 
-Run with ``python examples/chat_session_cache.py``.
+The deployment is declared once as a :class:`repro.ServingSpec` and served
+through the unified API (``ingest`` + ``submit``/``run`` on the backend).
+
+Run with ``PYTHONPATH=src python examples/chat_session_cache.py``
+(set ``REPRO_SMOKE=1`` for a fast CI-sized run).
 """
 
 from __future__ import annotations
 
-from repro import ContextLoadingEngine, ConstantTrace, NetworkLink, gbps
+import os
+
+from repro import ServeRequest, ServingSpec, build_backend
 from repro.llm import LLAMA_13B, get_model_config
 from repro.storage import CostModel
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 TURNS = [
     ("What is the role of art in society?", 1_800),
     ("How does that relate to public funding of museums?", 3_600),
     ("Summarise our discussion so far.", 5_400),
     ("What was the first topic we discussed?", 7_200),
 ]
+if SMOKE:
+    TURNS = [(question, tokens // 4) for question, tokens in TURNS[:3]]
 
 
 def main() -> None:
-    engine = ContextLoadingEngine("mistral-7b", link=NetworkLink(ConstantTrace(gbps(3.0))))
+    spec = ServingSpec(model="mistral-7b", topology="single")
+    backend = build_backend(spec)
     session_id = "chat-session-42"
 
     print("Simulating a growing chat session (history re-ingested after each turn):\n")
     for turn, (question, history_tokens) in enumerate(TURNS, start=1):
-        engine.ingest(f"{session_id}-turn{turn}", history_tokens)
-        response = engine.query(f"{session_id}-turn{turn}", question)
+        backend.ingest(f"{session_id}-turn{turn}", history_tokens)
+        backend.submit(ServeRequest(f"{session_id}-turn{turn}", question))
+        response = backend.run()[0]
         path = "cached KV" if response.used_kv_cache else "text prefill"
         print(
             f"Turn {turn}: history {history_tokens:>5} tokens | {path:>12} | "

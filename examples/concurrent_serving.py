@@ -1,14 +1,17 @@
 """Concurrent serving: queueing delay emerging from the event-driven engine.
 
-Run with ``PYTHONPATH=src python examples/concurrent_serving.py``.
+Run with ``PYTHONPATH=src python examples/concurrent_serving.py``
+(set ``REPRO_SMOKE=1`` for a fast CI-sized run).
 
-The example exercises the concurrent serving subsystem end to end:
+The example exercises the unified serving API end to end:
 
-1. ingest two long contexts into a single-node engine,
-2. serve six queries arriving close together through the
-   :class:`~repro.serving.ConcurrentEngine` — requests contend for the link
-   and the GPU run queue, and each response reports its TTFT decomposed into
-   queueing + transfer (network) + decode + prompt compute,
+1. declare a single-node deployment as a :class:`repro.ServingSpec` with
+   ``concurrency > 1`` (which selects the event-driven backend) and ingest
+   two long contexts,
+2. serve six queries arriving close together — requests contend for the link
+   and the GPU run queue, and each :class:`repro.ServeResponse` reports its
+   TTFT decomposed into queueing + transfer (network) + decode + prompt
+   compute,
 3. sweep the number of simultaneous requests to show TTFT degrading
    monotonically with concurrency — with no ``gpu_share`` knob anywhere; the
    degradation is pure queueing.
@@ -16,29 +19,39 @@ The example exercises the concurrent serving subsystem end to end:
 
 from __future__ import annotations
 
-from repro.serving import ConcurrentEngine, ContextLoadingEngine
+import os
 
-CONTEXTS = {"annual-report": 6_000, "design-doc": 3_000}
+from repro import ServeRequest, ServingSpec, build_backend
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+CONTEXTS = (
+    {"annual-report": 1_500, "design-doc": 800}
+    if SMOKE
+    else {"annual-report": 6_000, "design-doc": 3_000}
+)
 ARRIVALS = [0.0, 0.05, 0.1, 0.15, 0.2, 0.25]
 
 
 def main() -> None:
-    engine = ContextLoadingEngine("mistral-7b")
-    concurrent = ConcurrentEngine(engine, max_decode_batch=8)
+    spec = ServingSpec(model="mistral-7b", concurrency=8, max_decode_batch=8)
+    backend = build_backend(spec)
     for context_id, num_tokens in CONTEXTS.items():
-        concurrent.ingest(context_id, num_tokens)
+        backend.ingest(context_id, num_tokens)
 
     print("Six queries arriving within 250 ms of each other:\n")
     context_ids = list(CONTEXTS)
     for i, arrival_s in enumerate(ARRIVALS):
-        concurrent.submit(
-            context_ids[i % len(context_ids)],
-            f"Question {i}?",
-            arrival_s=arrival_s,
+        backend.submit(
+            ServeRequest(
+                context_ids[i % len(context_ids)], f"Question {i}?", arrival_s=arrival_s
+            )
         )
-    responses = concurrent.run()
+    responses = backend.run()
 
-    header = f"{'context':<14} {'arrive':>7} {'ttft':>7} {'queue':>7} {'net':>7} {'decode':>7} {'compute':>8}"
+    header = (
+        f"{'context':<14} {'arrive':>7} {'ttft':>7} {'queue':>7} "
+        f"{'net':>7} {'decode':>7} {'compute':>8}"
+    )
     print(header)
     for response in responses:
         ttft = response.ttft
@@ -55,8 +68,8 @@ def main() -> None:
     print("\nMean TTFT vs simultaneous requests (same context, same instant):")
     for n in (1, 2, 4, 8):
         for _ in range(n):
-            concurrent.submit("annual-report", "How did revenue develop?")
-        burst = concurrent.run()
+            backend.submit(ServeRequest("annual-report", "How did revenue develop?"))
+        burst = backend.run()
         mean_ttft = sum(r.ttft_s for r in burst) / n
         mean_queue = sum(r.queueing_s for r in burst) / n
         print(f"  n={n:<2}  mean TTFT {mean_ttft:6.3f}s   mean queueing {mean_queue:6.3f}s")

@@ -14,10 +14,14 @@ The example walks the core pipeline end to end:
 
 from __future__ import annotations
 
+import os
+
 from repro import CacheGenDecoder, CacheGenEncoder, ConstantTrace, NetworkLink, SyntheticLLM, gbps
 from repro.core.quantization import vectorwise_quantize
 from repro.core.kv_cache import KVCache
 from repro.llm import ComputeModel, MISTRAL_7B
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def main() -> None:
@@ -26,7 +30,7 @@ def main() -> None:
     link = NetworkLink(ConstantTrace(gbps(3.0)))
 
     # 1. Prefill a reusable 9.4K-token context once.
-    context_tokens = 9_400
+    context_tokens = 2_400 if SMOKE else 9_400
     kv = llm.calculate_kv("financial-report-2023", context_tokens)
     print(f"KV cache: {kv.num_tokens} tokens, {kv.full_nbytes / 1e9:.2f} GB in fp16")
 

@@ -5,14 +5,21 @@ is ingested once, its encoded KV cache lives on a storage server, and several
 different questions about the same document arrive over time.  Every query
 after the first skips the prefill and only pays the (compressed) KV transfer.
 
-Run with ``python examples/rag_document_assistant.py``.
+The deployment is declared once as a :class:`repro.ServingSpec` and served
+through the unified API.
+
+Run with ``PYTHONPATH=src python examples/rag_document_assistant.py``
+(set ``REPRO_SMOKE=1`` for a fast CI-sized run).
 """
 
 from __future__ import annotations
 
-from repro import ContextLoadingEngine, ConstantTrace, NetworkLink, gbps
+import os
 
+from repro import ServeRequest, ServingSpec, build_backend
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+DOC_TOKENS = 2_400 if SMOKE else 9_000
 QUESTIONS = [
     "Write a short summary based on the company's earning report last quarter.",
     "What were the company's top sources of revenue in the last quarter?",
@@ -21,11 +28,11 @@ QUESTIONS = [
 
 
 def main() -> None:
-    link = NetworkLink(ConstantTrace(gbps(3.0)))
-    engine = ContextLoadingEngine("mistral-7b", link=link)
+    spec = ServingSpec(model="mistral-7b", bandwidth_gbps=3.0)
+    backend = build_backend(spec)
 
     # Ingest the document once: prefill, encode at every level, store.
-    report = engine.ingest("acme-earnings-q4", num_tokens=9_000)
+    report = backend.ingest("acme-earnings-q4", num_tokens=DOC_TOKENS)
     print(
         f"Ingested {report.num_tokens}-token report into {report.num_chunks} chunks; "
         f"stored {report.total_stored_bytes / 1e6:.1f} MB across "
@@ -35,7 +42,8 @@ def main() -> None:
 
     # Answer several questions against the same cached context.
     for question in QUESTIONS:
-        response = engine.query("acme-earnings-q4", question, task="qa_f1")
+        backend.submit(ServeRequest("acme-earnings-q4", question, task="qa_f1"))
+        response = backend.run()[0]
         print(
             f"\nQ: {question}\n"
             f"   TTFT {response.ttft_s:.2f}s "
@@ -46,7 +54,10 @@ def main() -> None:
         )
 
     # Contrast with a cold document that has to take the text path.
-    cold = engine.query("fresh-lawsuit-filing", QUESTIONS[2], num_tokens=9_000, task="qa_f1")
+    backend.submit(
+        ServeRequest("fresh-lawsuit-filing", QUESTIONS[2], num_tokens=DOC_TOKENS, task="qa_f1")
+    )
+    cold = backend.run()[0]
     print(
         f"\nCold context (no cached KV): TTFT {cold.ttft_s:.2f}s via the text path — "
         f"{cold.ttft_s / max(1e-9, response.ttft_s):.1f}x slower than the cached queries."

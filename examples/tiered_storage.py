@@ -1,8 +1,10 @@
 """Tiered storage: a capacity-squeezed cluster that demotes instead of drops.
 
-Run with ``PYTHONPATH=src python examples/tiered_storage.py``.
+Run with ``PYTHONPATH=src python examples/tiered_storage.py``
+(set ``REPRO_SMOKE=1`` for a fast CI-sized run).
 
-The example runs the same pressured workload against two 2-node clusters:
+The example serves the same pressured workload against two 2-node
+deployments, each declared as one :class:`repro.ServingSpec`:
 
 1. **memory-only** — each node has a small hot tier and nothing behind it, so
    capacity evictions drop contexts and re-accesses re-pay the full prefill;
@@ -10,7 +12,7 @@ The example runs the same pressured workload against two 2-node clusters:
    1 Gbps tier link, so evictions demote, cold hits promote back to hot, and
    only the tier-link read (not a re-prefill) is paid on a cold hit.
 
-It then prints both cluster reports side by side: the tiered run converts
+It then prints both unified run reports side by side: the tiered run converts
 evict-drops into demotions, text fallbacks into cold hits, and shows the
 per-tier hit ratios, the monthly storage bill and the $/request figure the
 Appendix-E prices imply.
@@ -18,39 +20,37 @@ Appendix-E prices imply.
 
 from __future__ import annotations
 
-from repro.cluster import ClusterFrontend, ClusterSimulator, WorkloadGenerator
-from repro.core import CacheGenConfig
-from repro.network import ConstantTrace, NetworkLink, gbps
+import os
 
-NUM_REQUESTS = 80
+from repro import ServingSpec, WorkloadGenerator, serve
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+NUM_REQUESTS = 40 if SMOKE else 80
 HOT_BYTES = 120e6
 COLD_BYTES = 1.2e9
 
 
 def run(cold_bytes_per_node: float | None) -> None:
-    frontend = ClusterFrontend(
-        "mistral-7b",
-        node_links=[NetworkLink(ConstantTrace(gbps(3.0))) for _ in range(2)],
-        replication_factor=2,
+    spec = ServingSpec(
+        model="mistral-7b",
+        topology="tiered" if cold_bytes_per_node else "cluster",
+        num_nodes=2,
+        replication=2,
         max_bytes_per_node=HOT_BYTES,
         cold_bytes_per_node=cold_bytes_per_node,
-        tier_links=(
-            [NetworkLink(ConstantTrace(gbps(1.0))) for _ in range(2)]
-            if cold_bytes_per_node
-            else None
-        ),
+        tier_bandwidth_gbps=1.0,
         eviction_policy="lru",
-        config=CacheGenConfig(chunk_tokens=512),
+        chunk_tokens=512,
+        concurrency=4,
+        slo_s=1.5,
+        adaptive=False,
     )
     workload = WorkloadGenerator(
         num_contexts=10, zipf_alpha=1.0, token_choices=(700, 1_400), seed=7
     )
-    simulator = ClusterSimulator(
-        frontend, workload, slo_s=1.5, adaptive=False, concurrency=4
-    )
-    report = simulator.run(NUM_REQUESTS)
+    report = serve(spec, workload=workload, num_requests=NUM_REQUESTS)
     print(report.format_table())
-    cold = [r for r in report.records if r.served_tier == "cold"]
+    cold = [r for r in report.responses if r.served_tier == "cold"]
     if cold:
         mean_tier = sum(r.tier_transfer_s for r in cold) / len(cold)
         print(

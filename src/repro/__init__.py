@@ -8,8 +8,10 @@ that the time-to-first-token stays within an SLO.
 
 Public entry points
 -------------------
-* :class:`repro.serving.ContextLoadingEngine` — end-to-end engine: ingest a
-  context once, then answer queries with CacheGen streaming underneath.
+* :class:`repro.ServingSpec` / :func:`repro.serve` — the unified serving API:
+  declare the deployment (codec levels, store topology single/tiered/cluster,
+  node count, replication, concurrency, admission) once, then drive any
+  backend with the same requests and get one :class:`repro.RunReport` shape.
 * :class:`repro.core.CacheGenEncoder` / :class:`repro.core.CacheGenDecoder` —
   the codec itself.
 * :class:`repro.streaming.KVStreamer` — SLO-aware streaming of encoded chunks.
@@ -17,16 +19,29 @@ Public entry points
 * :mod:`repro.experiments` — one module per table/figure of the evaluation.
 * :mod:`repro.cluster` — sharded, replicated, capacity-bounded KV-cache
   cluster with a multi-tenant serving frontend and workload simulator.
+
+The pre-spec entry points (:class:`repro.ContextLoadingEngine`,
+:class:`repro.ClusterFrontend`, ``ConcurrentEngine``) remain as deprecation
+shims over the same machinery.
 """
 
 from .cluster import ClusterFrontend, ClusterSimulator, WorkloadGenerator
 from .core import CacheGenConfig, CacheGenDecoder, CacheGenEncoder, EncodingLevel, KVCache
 from .llm import ComputeModel, ModelConfig, QualityModel, SyntheticLLM, get_model_config
 from .network import ConstantTrace, NetworkLink, RandomTrace, StepTrace, gbps
-from .serving import ContextLoadingEngine
+from .serving import (
+    ContextLoadingEngine,
+    Driver,
+    RunReport,
+    ServeRequest,
+    ServeResponse,
+    ServingSpec,
+    build_backend,
+    serve,
+)
 from .streaming import KVStreamer, SLOAwareAdapter, prepare_chunks
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CacheGenConfig",
@@ -37,6 +52,7 @@ __all__ = [
     "ComputeModel",
     "ConstantTrace",
     "ContextLoadingEngine",
+    "Driver",
     "EncodingLevel",
     "KVCache",
     "KVStreamer",
@@ -44,12 +60,18 @@ __all__ = [
     "NetworkLink",
     "QualityModel",
     "RandomTrace",
+    "RunReport",
     "SLOAwareAdapter",
+    "ServeRequest",
+    "ServeResponse",
+    "ServingSpec",
     "StepTrace",
     "SyntheticLLM",
     "WorkloadGenerator",
     "__version__",
+    "build_backend",
     "gbps",
     "get_model_config",
     "prepare_chunks",
+    "serve",
 ]

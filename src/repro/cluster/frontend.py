@@ -12,13 +12,15 @@ cluster degrades TTFT, never availability.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from ..core.config import CacheGenConfig
 from ..llm.compute_model import A40, GPUSpec
 from ..llm.model_config import ModelConfig
 from ..network.link import NetworkLink
+from ..serving._compat import warn_deprecated_entry_point
+from ..serving.api.types import ServeResponse
 from ..serving.engine import ContextLoadingEngine
 from ..serving.pipeline import IngestReport, QueryResponse
 from ..storage.eviction import EvictionPolicy, make_policy
@@ -39,16 +41,14 @@ class ClusterIngestReport(IngestReport):
 
 
 @dataclass
-class ClusterQueryResponse(QueryResponse):
-    """Query response extended with cluster routing information."""
+class ClusterQueryResponse(ServeResponse):
+    """Query response of the cluster frontend.
 
-    served_by: str | None = None
-    failed_over: bool = False
-    attempted_node_ids: tuple[str, ...] = ()
-    #: Tier the serving replica held the context in (None for the text path).
-    served_tier: str | None = None
-    #: Serialized tier-link read a cold hit paid before streaming started.
-    tier_transfer_s: float = 0.0
+    Historically this subclass carried the routing fields (``served_by`` /
+    ``failed_over`` / ``attempted_node_ids``); those now live on the unified
+    :class:`~repro.serving.api.ServeResponse`, of which this is a
+    field-for-field alias kept for back compatibility.
+    """
 
 
 def _as_cluster_response(
@@ -59,9 +59,8 @@ def _as_cluster_response(
     served_tier: str | None = None,
     tier_transfer_s: float = 0.0,
 ) -> ClusterQueryResponse:
-    base = {f.name: getattr(response, f.name) for f in fields(QueryResponse)}
-    return ClusterQueryResponse(
-        **base,
+    return ClusterQueryResponse.upgrade(
+        response,
         served_by=served_by,
         failed_over=failed_over,
         attempted_node_ids=attempted,
@@ -103,6 +102,12 @@ class ClusterFrontend(ContextLoadingEngine):
     text_link:
         Link to the document store used by the text fallback; defaults to a
         fresh 3 Gbps link.
+
+    .. deprecated::
+        Direct construction is deprecated; declare a
+        :class:`repro.serving.api.ServingSpec` with ``topology="cluster"`` (or
+        ``"tiered"``) and use :func:`repro.serving.api.serve` /
+        ``build_backend`` instead.
     """
 
     def __init__(
@@ -121,6 +126,10 @@ class ClusterFrontend(ContextLoadingEngine):
         text_link: NetworkLink | None = None,
         vnodes: int = 64,
     ) -> None:
+        if type(self) is ClusterFrontend:
+            warn_deprecated_entry_point(
+                "ClusterFrontend", 'ServingSpec(topology="cluster")'
+            )
         super().__init__(
             model, link=text_link, config=config, gpu=gpu, base_quality=base_quality
         )

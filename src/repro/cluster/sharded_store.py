@@ -361,31 +361,46 @@ class ShardedKVStore:
             return Lookup(node=None, stored=None, attempted_node_ids=tuple(attempted))
 
         level_name = self.encoder.config.default_level.name
-        tier = HOT if any(t == HOT for _, t in candidates) else COLD
-        contenders = [node for node, t in candidates if t == tier]
+        while candidates:
+            tier = HOT if any(t == HOT for _, t in candidates) else COLD
+            contenders = [node for node, t in candidates if t == tier]
 
-        def modeled_service_s(node: StorageNode) -> float:
-            num_bytes = node.store.peek_context(context_id).total_bytes(level_name)
-            service = node.estimated_service_s(num_bytes)
+            def modeled_service_s(node: StorageNode, tier: str = tier) -> float:
+                num_bytes = node.store.peek_context(context_id).total_bytes(level_name)
+                service = node.estimated_service_s(num_bytes)
+                if tier == COLD:
+                    service += node.cold_read_delay_s(num_bytes)
+                return service
+
+            best = min(
+                enumerate(contenders),
+                key=lambda pair: (modeled_service_s(pair[1]), pair[0]),
+            )[1]
+            try:
+                stored = best.store.get_context(context_id)
+            except KeyError:
+                # Serving mutates tiered stores: the read's own write-back
+                # flush can cascade cold-tier capacity evictions that take
+                # out the very context being fetched between the membership
+                # check and the read.  Count it as a routing miss on that
+                # replica and fail over to the next candidate.
+                best.record_miss()
+                attempted.append(best.node_id)
+                candidates = [(node, t) for node, t in candidates if node is not best]
+                continue
+            self.stats.lookup_hits += 1
             if tier == COLD:
-                service += node.cold_read_delay_s(num_bytes)
-            return service
-
-        best = min(
-            enumerate(contenders), key=lambda pair: (modeled_service_s(pair[1]), pair[0])
-        )[1]
-        stored = best.store.get_context(context_id)
-        self.stats.lookup_hits += 1
-        if tier == COLD:
-            self.stats.cold_lookup_hits += 1
-        if attempted:
-            self.stats.failovers += 1
-        self.stats.per_node_locates[best.node_id] = (
-            self.stats.per_node_locates.get(best.node_id, 0) + 1
-        )
-        return Lookup(
-            node=best, stored=stored, attempted_node_ids=tuple(attempted), tier=tier
-        )
+                self.stats.cold_lookup_hits += 1
+            if attempted:
+                self.stats.failovers += 1
+            self.stats.per_node_locates[best.node_id] = (
+                self.stats.per_node_locates.get(best.node_id, 0) + 1
+            )
+            return Lookup(
+                node=best, stored=stored, attempted_node_ids=tuple(attempted), tier=tier
+            )
+        self.stats.full_misses += 1
+        return Lookup(node=None, stored=None, attempted_node_ids=tuple(attempted))
 
     def known_tokens(self, context_id: str) -> int | None:
         """Length of a context ever ingested, even if since evicted."""

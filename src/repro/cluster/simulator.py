@@ -31,7 +31,9 @@ from ..metrics.cluster import (
     slo_attainment,
     storage_cost_per_request,
     summarize_latencies,
+    tier_state,
 )
+from ..serving._compat import api_construction
 from ..serving.concurrent import ConcurrentEngine
 from ..serving.pipeline import QueryResponse
 from ..storage.kv_store import CapacityError
@@ -250,7 +252,7 @@ class ClusterSimulator:
         self._failed_ingests = 0
         self._replication_bytes = 0.0
         evictions_before = self.frontend.cluster.total_evictions()
-        demotions_before, promotions_before = self._tier_counters()
+        tier_before = tier_state(self.frontend.cluster.nodes.values())
 
         requests = list(self.workload.iter_requests(num_requests))
         if self.concurrency == 1:
@@ -263,8 +265,8 @@ class ClusterSimulator:
         kv_served = sum(1 for record in records if record.used_kv_cache)
         hot_served = sum(1 for record in records if record.served_tier == HOT)
         cold_served = sum(1 for record in records if record.served_tier == COLD)
-        demotions_after, promotions_after = self._tier_counters()
-        hot_bytes, cold_bytes = self._tier_bytes()
+        tier_after = tier_state(self.frontend.cluster.nodes.values())
+        hot_bytes, cold_bytes = tier_after.hot_bytes, tier_after.cold_bytes
         text_served = len(records) - kv_served
         mean_tokens = (
             int(sum(record.request.num_tokens for record in records) / len(records))
@@ -310,8 +312,8 @@ class ClusterSimulator:
             concurrency=self.concurrency,
             hot_served=hot_served,
             cold_served=cold_served,
-            demotions=demotions_after - demotions_before,
-            promotions=promotions_after - promotions_before,
+            demotions=tier_after.demotions - tier_before.demotions,
+            promotions=tier_after.promotions - tier_before.promotions,
             hot_bytes=hot_bytes,
             cold_bytes=cold_bytes,
             storage_cost_usd_per_month=self._cost_model().monthly_storage_cost(
@@ -321,26 +323,6 @@ class ClusterSimulator:
         )
 
     # ------------------------------------------------------------------ pieces
-    def _tier_counters(self) -> tuple[int, int]:
-        """Cumulative (demotions, promotions) across the cluster's nodes."""
-        demotions = promotions = 0
-        for node in self.frontend.cluster.nodes.values():
-            if node.tiered:
-                demotions += node.store.demotion_count
-                promotions += node.store.promotion_count
-        return demotions, promotions
-
-    def _tier_bytes(self) -> tuple[float, float]:
-        """Bytes currently resident per tier across the cluster."""
-        hot = cold = 0.0
-        for node in self.frontend.cluster.nodes.values():
-            if node.tiered:
-                hot += node.store.hot_bytes()
-                cold += node.store.cold_bytes()
-            else:
-                hot += float(node.store.storage_bytes())
-        return hot, cold
-
     @staticmethod
     def _cost_model():
         from ..storage.cost import TieredCostModel
@@ -434,9 +416,10 @@ class ClusterSimulator:
     def _serve_concurrent(
         self, requests: Sequence[Request], records: list[RequestRecord]
     ) -> int:
-        engine = ConcurrentEngine(
-            self.frontend, max_decode_batch=self.max_decode_batch
-        )
+        with api_construction():  # internal plumbing, not a deprecated entry
+            engine = ConcurrentEngine(
+                self.frontend, max_decode_batch=self.max_decode_batch
+            )
         hard_failures = 0
         for start in range(0, len(requests), self.concurrency):
             wave = list(requests[start : start + self.concurrency])

@@ -6,6 +6,11 @@ cents per month while every recomputation costs a fraction of a cent — so past
 (disk/object-store) tier stores the same bytes several times cheaper, so its
 breakeven reuse rate is proportionally lower — the economic rationale for
 demoting capacity victims there instead of dropping them.
+
+The analysis can also price a *declared deployment*: pass a
+:class:`~repro.serving.api.ServingSpec` and the metadata gains the monthly
+storage bill of its full topology (per-node hot/cold budgets x node count),
+priced by the same tiered model the cluster reports use.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..llm.model_config import get_model_config
+from ..serving.api import ServingSpec
 from ..storage.cost import TieredCostModel
 from .common import ExperimentResult
 
@@ -25,15 +31,21 @@ def run_appendix_e(
     bits_per_element: float = 2.4,
     num_versions: int = 4,
     reuse_rates_per_month: Sequence[int] = (10, 50, 150, 500, 1_000),
+    spec: ServingSpec | None = None,
 ) -> ExperimentResult:
     """Reproduce the Appendix E storage-vs-recompute cost analysis.
 
     Each row prices the hot tier (the paper's headline estimate) and the cold
-    tier side by side at one monthly reuse rate.
+    tier side by side at one monthly reuse rate.  With ``spec`` given, the
+    context is priced for that deployment's model and the metadata includes
+    the spec topology's fully-provisioned monthly storage bill.
     """
     cost_model = TieredCostModel()
+    if spec is not None:
+        model = spec.model
+    model_config = get_model_config(model) if isinstance(model, str) else model
     analysis = cost_model.analyse(
-        model=get_model_config(model),
+        model=model_config,
         num_tokens=num_tokens,
         compressed_bits_per_element=bits_per_element,
         num_stored_versions=num_versions,
@@ -45,18 +57,26 @@ def run_appendix_e(
         pricing.cold_storage_usd_per_gb_month / pricing.storage_usd_per_gb_month
     )
     cold_breakeven = cold_monthly / analysis.recompute_usd_per_request
+    metadata = {
+        "model": model_config.name,
+        "num_tokens": num_tokens,
+        "storage_usd_per_month": analysis.storage_usd_per_month,
+        "cold_storage_usd_per_month": cold_monthly,
+        "recompute_usd_per_request": analysis.recompute_usd_per_request,
+        "breakeven_requests_per_month": analysis.breakeven_requests_per_month,
+        "cold_breakeven_requests_per_month": cold_breakeven,
+    }
+    if spec is not None:
+        hot_capacity = (spec.max_bytes_per_node or 0.0) * spec.num_nodes
+        cold_capacity = (spec.cold_bytes_per_node or 0.0) * spec.num_nodes
+        metadata["spec_topology"] = spec.topology
+        metadata["spec_storage_usd_per_month"] = cost_model.monthly_storage_cost(
+            hot_capacity, cold_capacity
+        )
     result = ExperimentResult(
         name="appendix-e",
         description="Storage vs recompute cost of a cached context, per tier",
-        metadata={
-            "model": model,
-            "num_tokens": num_tokens,
-            "storage_usd_per_month": analysis.storage_usd_per_month,
-            "cold_storage_usd_per_month": cold_monthly,
-            "recompute_usd_per_request": analysis.recompute_usd_per_request,
-            "breakeven_requests_per_month": analysis.breakeven_requests_per_month,
-            "cold_breakeven_requests_per_month": cold_breakeven,
-        },
+        metadata=metadata,
     )
     for reuse_rate in reuse_rates_per_month:
         monthly_recompute = analysis.recompute_usd_per_request * reuse_rate

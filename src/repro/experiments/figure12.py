@@ -3,26 +3,33 @@
 Left: with more concurrent requests the GPU run queue and the shared link
 back up, so the text (prefill) baseline — whose serialized prefills dominate
 the GPU — degrades much faster than CacheGen, whose batched bitstream decodes
-are cheap.  The concurrency curve is produced by the event-driven concurrent
-serving simulator: ``n`` identical requests arrive together, share one link
-and one GPU, and each request's TTFT (queueing + transfer + compute) is read
-off the schedule — there is no static ``gpu_share`` parameter anywhere in
-this path.  Right: the longer the context, the larger CacheGen's gain; below
-~1K tokens CacheGen reverts to loading text, which is then the faster path.
+are cheap.  The concurrency curve is served through the *unified serving API*:
+one :class:`~repro.serving.api.ServingSpec`, the event-driven concurrent
+backend, and ``n`` identical requests arriving together — each request's TTFT
+(queueing + transfer + decode + compute) is read off the schedule; there is no
+static ``gpu_share`` parameter anywhere in this path.  The quantization
+baseline has no engine path, so its rows still run the raw event simulator
+with the same arrival pattern.  Right: the longer the context, the larger
+CacheGen's gain; below ~1K tokens CacheGen reverts to loading text, which is
+then the faster path.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from ..baselines import TextContextBaseline, UniformQuantizationBaseline
-from ..serving.concurrent.processes import ChunkedKVLoad, StaticLoad
+from ..baselines import UniformQuantizationBaseline
+from ..serving.api import ServeRequest, ServingSpec, build_backend
+from ..serving.concurrent.processes import StaticLoad
 from ..serving.concurrent.simulator import ConcurrentLoadSimulator
-from ..streaming.adaptation import FixedLevelPolicy
-from ..streaming.chunking import prepare_chunks
 from .common import ExperimentResult, Workbench, default_link
 
 __all__ = ["run_figure12_concurrency", "run_figure12_context_length"]
+
+#: Context ids used by the concurrency panel: one ingested (KV path), one
+#: deliberately never ingested (text re-prefill path).
+_KV_CONTEXT = "figure12-context"
+_TEXT_CONTEXT = "figure12-text-context"
 
 
 def run_figure12_concurrency(
@@ -35,47 +42,31 @@ def run_figure12_concurrency(
     """Reproduce Figure 12 (left): TTFT vs number of concurrent requests.
 
     For every method and concurrency level ``n``, ``n`` identical requests
-    arrive at time zero and are served through the concurrent load simulator
-    (shared link, serialized GPU, batched decodes); the reported TTFT is the
-    mean across the ``n`` requests, and the mean queueing delay is recorded
-    alongside it.
+    arrive at time zero and are served through the event-driven backend of one
+    shared :class:`~repro.serving.api.ServingSpec` (shared link, serialized
+    GPU, batched decodes); the reported TTFT is the mean across the ``n``
+    requests, and the mean queueing delay is recorded alongside it.
     """
-    workbench = Workbench(model=model, dataset="longchat", num_contexts=1)
-    base_record = workbench.records[0]
-    record = type(base_record)(
-        context_id=base_record.context_id,
-        num_tokens=num_tokens,
-        prompt_tokens=base_record.prompt_tokens,
-        task=base_record.task,
-        question=base_record.question,
+    spec = ServingSpec(
+        model=model,
+        topology="single",
+        concurrency=max(concurrency_levels),
+        bandwidth_gbps=bandwidth_gbps,
+        max_decode_batch=max_decode_batch,
     )
-    compute = workbench.compute
-    reference_kv = workbench.reference_kv(record)
-    prepared = prepare_chunks(reference_kv, workbench.encoder)
-    default_level = workbench.encoder.config.default_level.name
+    backend = build_backend(spec, kind="concurrent")
+    backend.ingest(_KV_CONTEXT, num_tokens)
+    engine = backend.engine
+    question = "What does the context say?"
+    prompt_tokens = max(engine.llm.tokenizer.count_tokens(question), 1)
 
-    text_baseline = TextContextBaseline()
-    text_bytes = num_tokens * text_baseline.bytes_per_token
+    # The quantization baseline has no engine path: size its payload from the
+    # same (deterministic) reference KV and play it through the raw event
+    # simulator.
     quant_baseline = UniformQuantizationBaseline(8)
-    _, quant_bytes = quant_baseline.quantized_cache(reference_kv)
-    prompt_tokens = record.prompt_tokens
-
-    def build_process(method_name: str):
-        if method_name == "text":
-            return StaticLoad.text_load(
-                num_tokens, text_bytes, compute, prompt_tokens=prompt_tokens
-            )
-        if method_name == quant_baseline.name:
-            return StaticLoad.quant_load(
-                quant_bytes, compute, prompt_tokens=prompt_tokens
-            )
-        return ChunkedKVLoad(
-            prepared,
-            policy=FixedLevelPolicy(level_name=default_level),
-            compute=compute,
-            prompt_tokens=prompt_tokens,
-            batch_key="gpu-server",
-        )
+    _, quant_bytes = quant_baseline.quantized_cache(
+        engine.llm.calculate_kv(_KV_CONTEXT, num_tokens)
+    )
 
     result = ExperimentResult(
         name="figure12-concurrency",
@@ -83,21 +74,40 @@ def run_figure12_concurrency(
         metadata={"num_tokens": num_tokens},
     )
     for n in concurrency_levels:
-        for method_name in ("text", quant_baseline.name, "cachegen"):
-            link = default_link(bandwidth_gbps)
-            simulator = ConcurrentLoadSimulator(
-                max_decode_batch=max_decode_batch,
-                initial_throughput_bps=link.trace.bandwidth_at(0.0),
-            )
+        for method_name, context_id in (("text", _TEXT_CONTEXT), ("cachegen", _KV_CONTEXT)):
             for _ in range(n):
-                simulator.add_request(0.0, link, build_process(method_name))
-            timelines = simulator.run()
+                backend.submit(
+                    ServeRequest(
+                        context_id, question, arrival_s=0.0, num_tokens=num_tokens
+                    )
+                )
+            responses = backend.run()
             result.add_row(
                 concurrent_requests=n,
                 method=method_name,
-                ttft_s=sum(t.total_s for t in timelines) / n,
-                queueing_s=sum(t.queueing_s for t in timelines) / n,
+                ttft_s=sum(r.ttft_s for r in responses) / n,
+                queueing_s=sum(r.queueing_s for r in responses) / n,
             )
+        link = default_link(bandwidth_gbps)
+        simulator = ConcurrentLoadSimulator(
+            max_decode_batch=max_decode_batch,
+            initial_throughput_bps=link.trace.bandwidth_at(0.0),
+        )
+        for _ in range(n):
+            simulator.add_request(
+                0.0,
+                link,
+                StaticLoad.quant_load(
+                    quant_bytes, engine.compute_model, prompt_tokens=prompt_tokens
+                ),
+            )
+        timelines = simulator.run()
+        result.add_row(
+            concurrent_requests=n,
+            method=quant_baseline.name,
+            ttft_s=sum(t.total_s for t in timelines) / n,
+            queueing_s=sum(t.queueing_s for t in timelines) / n,
+        )
     return result
 
 

@@ -3,21 +3,21 @@
 The paper's cluster stores compressed KV caches in capacity-bounded memory;
 Appendix E prices a cheaper, slower storage class next to it.  This experiment
 splits a fixed per-node byte budget between the two tiers and serves the same
-Zipf workload through the event-driven concurrent engine at every split: a
-bigger hot tier keeps TTFT low, a bigger cold tier keeps contexts resident
-(demoting instead of dropping) at a fraction of the $/GB — the sweep reports
-where the per-tier hit ratios, the TTFT percentiles and the cost per request
-land between those extremes.
+Zipf workload at every split — declared as one
+:class:`~repro.serving.api.ServingSpec` per ratio and driven open-loop through
+the unified API's arrival-driven :class:`~repro.serving.api.Driver` (the true
+Poisson arrival process, not fixed-size waves): a bigger hot tier keeps TTFT
+low, a bigger cold tier keeps contexts resident (demoting instead of dropping)
+at a fraction of the $/GB — the sweep reports where the per-tier hit ratios,
+the TTFT percentiles and the cost per request land between those extremes.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from ..cluster import ClusterFrontend, ClusterSimulator, WorkloadGenerator
-from ..core.config import CacheGenConfig
-from ..network.bandwidth import ConstantTrace, gbps
-from ..network.link import NetworkLink
+from ..cluster import WorkloadGenerator
+from ..serving.api import ServingSpec, serve
 from .common import ExperimentResult
 
 __all__ = ["run_tiered_storage"]
@@ -58,24 +58,19 @@ def run_tiered_storage(
             raise ValueError("hot_fractions must be in (0, 1]")
         hot_bytes = total_bytes_per_node * hot_fraction
         cold_bytes = total_bytes_per_node - hot_bytes
-        frontend = ClusterFrontend(
-            model,
-            node_links=[
-                NetworkLink(ConstantTrace(gbps(3.0))) for _ in range(num_nodes)
-            ],
-            replication_factor=2,
+        spec = ServingSpec(
+            model=model,
+            topology="tiered" if cold_bytes > 0 else "cluster",
+            num_nodes=num_nodes,
+            replication=2,
             max_bytes_per_node=hot_bytes,
             cold_bytes_per_node=cold_bytes if cold_bytes > 0 else None,
-            tier_links=(
-                [
-                    NetworkLink(ConstantTrace(gbps(tier_bandwidth_gbps)))
-                    for _ in range(num_nodes)
-                ]
-                if cold_bytes > 0
-                else None
-            ),
+            tier_bandwidth_gbps=tier_bandwidth_gbps,
             eviction_policy="lru",
-            config=CacheGenConfig(chunk_tokens=256),
+            chunk_tokens=256,
+            concurrency=concurrency,
+            slo_s=slo_s,
+            adaptive=False,
         )
         workload = WorkloadGenerator(
             num_contexts=num_contexts,
@@ -83,10 +78,7 @@ def run_tiered_storage(
             token_choices=(320, 640),
             seed=seed,
         )
-        simulator = ClusterSimulator(
-            frontend, workload, slo_s=slo_s, adaptive=False, concurrency=concurrency
-        )
-        report = simulator.run(num_requests)
+        report = serve(spec, workload=workload, num_requests=num_requests)
         result.add_row(
             hot_fraction=hot_fraction,
             hit_ratio=report.hit_ratio,
@@ -98,6 +90,7 @@ def run_tiered_storage(
             text_served=report.text_served,
             ttft_p50_s=report.ttft.p50_s,
             ttft_p95_s=report.ttft.p95_s,
+            queueing_p95_s=report.queueing.p95_s if report.queueing else 0.0,
             slo_attainment=report.slo_attainment,
             storage_usd_per_month=report.storage_cost_usd_per_month,
             cost_usd_per_request=report.cost_usd_per_request,

@@ -19,10 +19,12 @@ from .system import slo_violation_rate
 __all__ = [
     "LatencySummary",
     "NodeSummary",
+    "TierState",
     "summarize_latencies",
     "slo_attainment",
     "hit_ratio",
     "tier_hit_ratios",
+    "tier_state",
     "storage_cost_per_request",
 ]
 
@@ -83,6 +85,44 @@ class NodeSummary:
     def cold_hit_ratio(self) -> float:
         """Fraction of routed requests served off the cold tier."""
         return hit_ratio(self.cold_hits, self.requests_routed)
+
+
+@dataclass(frozen=True)
+class TierState:
+    """Cumulative tier counters and resident bytes of a set of storage nodes.
+
+    Single-tier nodes contribute their resident bytes as hot; their demotion
+    and promotion counts are zero by construction.
+    """
+
+    demotions: int
+    promotions: int
+    hot_bytes: float
+    cold_bytes: float
+
+
+def tier_state(nodes) -> TierState:
+    """Aggregate the tier counters/bytes across nodes (duck-typed).
+
+    Accepts anything iterable of :class:`~repro.cluster.node.StorageNode`-like
+    objects (``tiered``, ``store``); both the legacy
+    :class:`~repro.cluster.simulator.ClusterSimulator` and the unified
+    :class:`~repro.serving.api.RunReport` assembly report through this one
+    helper, so the two report shapes can never drift on tier accounting.
+    """
+    demotions = promotions = 0
+    hot = cold = 0.0
+    for node in nodes:
+        if node.tiered:
+            demotions += node.store.demotion_count
+            promotions += node.store.promotion_count
+            hot += node.store.hot_bytes()
+            cold += node.store.cold_bytes()
+        else:
+            hot += float(node.store.storage_bytes())
+    return TierState(
+        demotions=demotions, promotions=promotions, hot_bytes=hot, cold_bytes=cold
+    )
 
 
 def summarize_latencies(samples: Sequence[float]) -> LatencySummary:

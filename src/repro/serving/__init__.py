@@ -1,18 +1,40 @@
 """Serving integration: the end-to-end context-loading engine of §6.
 
-The sequential :class:`ContextLoadingEngine` serves one query at a time; the
-:mod:`repro.serving.concurrent` subpackage serves batches of queries through a
-discrete-event simulation of the shared links and GPU run queue.
+The public surface is the unified API in :mod:`repro.serving.api`: declare a
+:class:`~repro.serving.api.ServingSpec`, build a backend (or call
+:func:`~repro.serving.api.serve`), and drive it with
+:class:`~repro.serving.api.ServeRequest` objects.
+
+The historical entry points remain as deprecation shims: the sequential
+:class:`ContextLoadingEngine` serves one query at a time, and the
+:mod:`repro.serving.concurrent` subpackage serves batches of queries through
+a discrete-event simulation of the shared links and GPU run queue.
 """
 
 from .engine import ContextLoadingEngine
 from .pipeline import IngestReport, QueryResponse
 from .concurrent import ConcurrentEngine, ConcurrentQueryResponse
+from .api import (
+    Driver,
+    RunReport,
+    ServeRequest,
+    ServeResponse,
+    ServingSpec,
+    build_backend,
+    serve,
+)
 
 __all__ = [
     "ConcurrentEngine",
     "ConcurrentQueryResponse",
     "ContextLoadingEngine",
+    "Driver",
     "IngestReport",
     "QueryResponse",
+    "RunReport",
+    "ServeRequest",
+    "ServeResponse",
+    "ServingSpec",
+    "build_backend",
+    "serve",
 ]

@@ -1,0 +1,54 @@
+"""Deprecation plumbing for the pre-`ServingSpec` serving entry points.
+
+The unified serving API (:mod:`repro.serving.api`) wraps the three historical
+front doors — :class:`~repro.serving.engine.ContextLoadingEngine`,
+:class:`~repro.serving.concurrent.ConcurrentEngine` and
+:class:`~repro.cluster.frontend.ClusterFrontend` — behind one declarative
+:class:`~repro.serving.api.ServingSpec`.  The old classes keep working as thin
+shims, but constructing one *directly* emits a :class:`DeprecationWarning`.
+
+The API layer itself builds the very same classes, so the warning must know
+who is calling: :func:`api_construction` marks the construction as internal
+(backends enter it around every engine/frontend build), and
+:func:`warn_deprecated_entry_point` stays silent inside that scope.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import warnings
+from contextvars import ContextVar
+from typing import Iterator
+
+__all__ = ["api_construction", "warn_deprecated_entry_point"]
+
+_INTERNAL_CONSTRUCTION: ContextVar[bool] = ContextVar(
+    "repro_serving_internal_construction", default=False
+)
+
+
+@contextlib.contextmanager
+def api_construction() -> Iterator[None]:
+    """Mark engine/frontend constructions in this scope as API-internal."""
+    token = _INTERNAL_CONSTRUCTION.set(True)
+    try:
+        yield
+    finally:
+        _INTERNAL_CONSTRUCTION.reset(token)
+
+
+def warn_deprecated_entry_point(old: str, spec_hint: str) -> None:
+    """Emit the deprecation warning for a direct legacy construction.
+
+    ``stacklevel=3`` points the warning at the caller of the deprecated
+    ``__init__``, not at this helper or the ``__init__`` itself.
+    """
+    if _INTERNAL_CONSTRUCTION.get():
+        return
+    warnings.warn(
+        f"Constructing {old} directly is deprecated; declare a "
+        f"repro.serving.api.ServingSpec ({spec_hint}) and use serve() / "
+        f"build_backend() instead.  The class keeps working as a shim.",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -1,0 +1,77 @@
+"""The unified serving API: one spec, one backend protocol, one driver.
+
+This package is the single public serving surface of the repo:
+
+* :class:`ServingSpec` — a frozen, validated declaration of the deployment
+  (model, codec levels, store topology single/tiered/cluster, node count,
+  replication, tier sizes, links, concurrency, admission);
+* :class:`Backend` — the protocol (``ingest`` / ``submit`` / ``run`` /
+  ``report``) with three adapters over the existing engines
+  (:class:`SingleNodeBackend`, :class:`ConcurrentBackend`,
+  :class:`ClusterBackend`), all speaking :class:`ServeRequest` /
+  :class:`ServeResponse` / :class:`RunReport`;
+* :class:`Driver` / :func:`serve` — the arrival-driven open-loop runner that
+  replays a workload's true Poisson arrival process (ingest events
+  interleaved with queries, pluggable admission/shedding) through any
+  backend.
+
+The legacy entry points (``ContextLoadingEngine``, ``ConcurrentEngine``,
+``ClusterFrontend``) remain as deprecation shims over the same machinery.
+
+``backends`` and ``driver`` are loaded lazily (PEP 562): the legacy engines
+import :mod:`.types` at class-definition time, so the eager surface of this
+package must stay limited to the leaf modules.
+"""
+
+from __future__ import annotations
+
+from .spec import ServingSpec
+from .types import RunReport, ServeRequest, ServeResponse
+
+__all__ = [
+    "AdmissionPolicy",
+    "AdmitAll",
+    "Backend",
+    "ClusterBackend",
+    "ConcurrencyLimitAdmission",
+    "ConcurrentBackend",
+    "Driver",
+    "RunReport",
+    "ServeRequest",
+    "ServeResponse",
+    "ServingSpec",
+    "SingleNodeBackend",
+    "TokenBucketAdmission",
+    "build_backend",
+    "serve",
+]
+
+_LAZY = {
+    "Backend": ".backends",
+    "SingleNodeBackend": ".backends",
+    "ConcurrentBackend": ".backends",
+    "ClusterBackend": ".backends",
+    "build_backend": ".backends",
+    "AdmissionPolicy": ".driver",
+    "AdmitAll": ".driver",
+    "TokenBucketAdmission": ".driver",
+    "ConcurrencyLimitAdmission": ".driver",
+    "Driver": ".driver",
+    "serve": ".driver",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(module_name, __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

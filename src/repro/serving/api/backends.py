@@ -1,0 +1,368 @@
+"""Execution backends behind the unified serving API.
+
+A :class:`Backend` turns a :class:`~repro.serving.api.spec.ServingSpec` into a
+running serving stack and speaks the unified request/response shapes:
+
+* :class:`SingleNodeBackend` — the sequential single-node engine (one store,
+  one link, one query at a time);
+* :class:`ConcurrentBackend` — the event-driven engine over a single node:
+  staged requests contend for the shared link and GPU run queue;
+* :class:`ClusterBackend` — the sharded/replicated (optionally tiered)
+  cluster frontend, served sequentially or through the event engine.
+
+All three expose the same protocol — ``ingest`` / ``submit`` / ``run`` /
+``report`` — and return :class:`~repro.serving.api.types.ServeResponse`
+objects with one schema, so experiments swap backends without re-plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+from ...metrics.cluster import NodeSummary, TierState, tier_state
+from ...network.bandwidth import ConstantTrace, gbps
+from ...network.link import NetworkLink
+from .._compat import api_construction
+from ..engine import ContextLoadingEngine
+from ..pipeline import IngestReport
+from .spec import ServingSpec
+from .types import RunReport, ServeRequest, ServeResponse
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ...cluster.frontend import ClusterFrontend
+
+__all__ = [
+    "Backend",
+    "SingleNodeBackend",
+    "ConcurrentBackend",
+    "ClusterBackend",
+    "build_backend",
+]
+
+
+def _constant_link(bandwidth_gbps: float) -> NetworkLink:
+    return NetworkLink(ConstantTrace(gbps(bandwidth_gbps)))
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What every execution backend must speak."""
+
+    spec: ServingSpec
+
+    def ingest(self, context_id: str, num_tokens: int) -> IngestReport:
+        """Prefill + encode + store a context (offline path, not simulated)."""
+        ...
+
+    def submit(self, request: ServeRequest) -> int:
+        """Stage a request; served on the next :meth:`run`."""
+        ...
+
+    def run(self) -> list[ServeResponse]:
+        """Serve all staged requests; responses in staging order."""
+        ...
+
+    def report(self, responses: Sequence[ServeResponse], **counters) -> RunReport:
+        """Assemble the unified run report over served responses."""
+        ...
+
+    # ------------------------------------------------------------- state taps
+    def total_evictions(self) -> int: ...
+
+    def tier_counters(self) -> TierState: ...
+
+    def node_summaries(self) -> list[NodeSummary]: ...
+
+
+class _EngineBackend:
+    """Shared submission/report plumbing of the three adapters."""
+
+    spec: ServingSpec
+
+    def __init__(self, spec: ServingSpec) -> None:
+        self.spec = spec
+        self._staged: list[ServeRequest] = []
+
+    # ------------------------------------------------------------------ submit
+    def submit(self, request: ServeRequest) -> int:
+        self._staged.append(request)
+        return len(self._staged) - 1
+
+    def _take_staged(self) -> list[ServeRequest]:
+        if not self._staged:
+            raise ValueError("no requests submitted")
+        staged, self._staged = self._staged, []
+        return staged
+
+    def _serve_sequential(self, staged, query_fn, extra_fn=None) -> list[ServeResponse]:
+        """One-at-a-time serving in arrival order, responses in staging order.
+
+        ``query_fn`` maps a :class:`ServeRequest` to the wrapped engine's
+        response; ``extra_fn`` may derive additional unified fields from it.
+        """
+        order = sorted(range(len(staged)), key=lambda i: (staged[i].arrival_s, i))
+        responses: list[ServeResponse | None] = [None] * len(staged)
+        for i in order:
+            request = staged[i]
+            response = query_fn(request)
+            extras = {
+                "arrival_s": request.arrival_s,
+                "finish_s": request.arrival_s + response.ttft_s,
+            }
+            if extra_fn is not None:
+                extras.update(extra_fn(response))
+            responses[i] = ServeResponse.upgrade(response, **extras)
+        return [response for response in responses if response is not None]
+
+    # ------------------------------------------------------------------ report
+    def report(
+        self,
+        responses: Sequence[ServeResponse],
+        *,
+        slo_s: float | None = None,
+        shed: int = 0,
+        hard_failures: int = 0,
+        ingests: int = 0,
+        failed_ingests: int = 0,
+        replication_bytes: float = 0.0,
+        evictions_before: int = 0,
+        tier_before: TierState | None = None,
+        mean_context_tokens: int = 0,
+        min_duration_s: float = 0.0,
+    ) -> RunReport:
+        """Unified report; ``*_before`` snapshots make the counters per-run."""
+        tier_now = self.tier_counters()
+        before = tier_before or TierState(0, 0, 0.0, 0.0)
+        return RunReport.from_responses(
+            responses,
+            spec=self.spec,
+            slo_s=slo_s if slo_s is not None else self.spec.slo_s,
+            shed=shed,
+            hard_failures=hard_failures,
+            ingests=ingests,
+            failed_ingests=failed_ingests,
+            replication_bytes=replication_bytes,
+            total_evictions=self.total_evictions() - evictions_before,
+            tier=TierState(
+                demotions=tier_now.demotions - before.demotions,
+                promotions=tier_now.promotions - before.promotions,
+                hot_bytes=tier_now.hot_bytes,
+                cold_bytes=tier_now.cold_bytes,
+            ),
+            node_summaries=self.node_summaries(),
+            mean_context_tokens=mean_context_tokens,
+            min_duration_s=min_duration_s,
+        )
+
+
+class SingleNodeBackend(_EngineBackend):
+    """Sequential serving over one :class:`ContextLoadingEngine`."""
+
+    kind = "single"
+
+    def __init__(self, spec: ServingSpec, engine: ContextLoadingEngine | None = None) -> None:
+        super().__init__(spec)
+        if engine is None:
+            with api_construction():
+                engine = ContextLoadingEngine(
+                    spec.model,
+                    link=spec.link or _constant_link(spec.bandwidth_gbps),
+                    config=spec.resolved_config(),
+                    gpu=spec.gpu,
+                    base_quality=(
+                        dict(spec.base_quality) if spec.base_quality is not None else None
+                    ),
+                    store_max_bytes=spec.max_bytes_per_node,
+                    store_eviction_policy=spec.eviction_policy,
+                )
+        self.engine = engine
+
+    def ingest(self, context_id: str, num_tokens: int) -> IngestReport:
+        return self.engine.ingest(context_id, num_tokens)
+
+    def run(self) -> list[ServeResponse]:
+        from ...storage.tiered import HOT
+
+        def query(request: ServeRequest):
+            return self.engine.query(
+                request.context_id,
+                request.question,
+                num_tokens=request.num_tokens,
+                task=request.task,
+                slo_s=request.slo_s,
+            )
+
+        return self._serve_sequential(
+            self._take_staged(),
+            query,
+            lambda response: {
+                "served_tier": HOT if response.used_kv_cache else None
+            },
+        )
+
+    # ------------------------------------------------------------- state taps
+    def total_evictions(self) -> int:
+        return self.engine.store.eviction_count
+
+    def tier_counters(self) -> TierState:
+        return TierState(0, 0, float(self.engine.store.storage_bytes()), 0.0)
+
+    def node_summaries(self) -> list[NodeSummary]:
+        return []
+
+
+class ConcurrentBackend(SingleNodeBackend):
+    """Event-driven serving over one node: queueing, batching, admission."""
+
+    kind = "concurrent"
+
+    def __init__(self, spec: ServingSpec, engine: ContextLoadingEngine | None = None) -> None:
+        from ..concurrent.engine import ConcurrentEngine
+
+        super().__init__(spec, engine=engine)
+        with api_construction():
+            self._concurrent = ConcurrentEngine(
+                self.engine,
+                max_decode_batch=spec.max_decode_batch,
+                batch_overhead=spec.batch_overhead,
+                admission_limit=spec.admission_limit,
+            )
+
+    def run(self) -> list[ServeResponse]:
+        staged = self._take_staged()
+        for request in staged:
+            self._concurrent.submit(
+                request.context_id,
+                request.question,
+                arrival_s=request.arrival_s,
+                num_tokens=request.num_tokens,
+                task=request.task,
+                slo_s=request.slo_s,
+            )
+        return list(self._concurrent.run())
+
+
+class ClusterBackend(_EngineBackend):
+    """Cluster serving: sharded, replicated, optionally tiered nodes.
+
+    Sequential when ``spec.concurrency == 1``; otherwise staged requests are
+    played through the event-driven engine against the replica links and the
+    shared GPU run queue.
+    """
+
+    kind = "cluster"
+
+    def __init__(self, spec: ServingSpec, frontend: "ClusterFrontend | None" = None) -> None:
+        from ...cluster.frontend import ClusterFrontend
+
+        super().__init__(spec)
+        if frontend is None:
+            speeds = spec.node_bandwidths_gbps or (spec.bandwidth_gbps,) * spec.num_nodes
+            tiered = spec.cold_bytes_per_node is not None
+            with api_construction():
+                frontend = ClusterFrontend(
+                    spec.model,
+                    node_links=[_constant_link(speed) for speed in speeds],
+                    replication_factor=spec.replication,
+                    max_bytes_per_node=spec.max_bytes_per_node,
+                    eviction_policy=spec.eviction_policy,
+                    cold_bytes_per_node=spec.cold_bytes_per_node,
+                    tier_links=(
+                        [
+                            _constant_link(spec.tier_bandwidth_gbps)
+                            for _ in range(spec.num_nodes)
+                        ]
+                        if tiered
+                        else None
+                    ),
+                    placement=spec.placement,
+                    config=spec.resolved_config(),
+                    gpu=spec.gpu,
+                    base_quality=(
+                        dict(spec.base_quality) if spec.base_quality is not None else None
+                    ),
+                    text_link=(
+                        _constant_link(spec.text_bandwidth_gbps)
+                        if spec.text_bandwidth_gbps is not None
+                        else None
+                    ),
+                )
+        self.frontend = frontend
+        self._concurrent = None
+        if spec.concurrency > 1:
+            from ..concurrent.engine import ConcurrentEngine
+
+            with api_construction():
+                self._concurrent = ConcurrentEngine(
+                    frontend,
+                    max_decode_batch=spec.max_decode_batch,
+                    batch_overhead=spec.batch_overhead,
+                    admission_limit=spec.admission_limit,
+                )
+
+    # ---------------------------------------------------------------- topology
+    def mark_down(self, node_id: str) -> None:
+        self.frontend.mark_down(node_id)
+
+    def mark_up(self, node_id: str) -> None:
+        self.frontend.mark_up(node_id)
+
+    # ------------------------------------------------------------------ serve
+    def ingest(self, context_id: str, num_tokens: int) -> IngestReport:
+        return self.frontend.ingest(context_id, num_tokens)
+
+    def run(self) -> list[ServeResponse]:
+        staged = self._take_staged()
+        if self._concurrent is None:
+
+            def query(request: ServeRequest):
+                return self.frontend.query(
+                    request.context_id,
+                    request.question,
+                    num_tokens=request.num_tokens,
+                    task=request.task,
+                    slo_s=request.slo_s,
+                )
+
+            return self._serve_sequential(staged, query)
+        for request in staged:
+            self._concurrent.submit(
+                request.context_id,
+                request.question,
+                arrival_s=request.arrival_s,
+                num_tokens=request.num_tokens,
+                task=request.task,
+                slo_s=request.slo_s,
+            )
+        return list(self._concurrent.run())
+
+    # ------------------------------------------------------------- state taps
+    def total_evictions(self) -> int:
+        return self.frontend.cluster.total_evictions()
+
+    def tier_counters(self) -> TierState:
+        return tier_state(self.frontend.cluster.nodes.values())
+
+    def node_summaries(self) -> list[NodeSummary]:
+        return self.frontend.cluster.node_summaries()
+
+
+def build_backend(spec: ServingSpec, kind: str | None = None) -> Backend:
+    """Build the execution backend a spec declares.
+
+    ``kind`` overrides the derived choice (e.g. to force the sequential
+    adapter on a spec whose ``concurrency`` is above 1); it must stay
+    compatible with the spec's topology.
+    """
+    kind = kind or spec.backend_kind
+    if kind in ("single", "concurrent") and spec.topology != "single":
+        raise ValueError(f"backend kind {kind!r} requires the single topology")
+    if kind == "cluster" and spec.topology == "single":
+        raise ValueError("the cluster backend requires a tiered or cluster topology")
+    if kind == "single":
+        return SingleNodeBackend(spec)
+    if kind == "concurrent":
+        return ConcurrentBackend(spec)
+    if kind == "cluster":
+        return ClusterBackend(spec)
+    raise ValueError(f"unknown backend kind {kind!r}")

@@ -1,0 +1,385 @@
+"""Arrival-driven open-loop serving and the ``serve()`` convenience.
+
+The legacy :class:`~repro.cluster.simulator.ClusterSimulator` served the
+workload in fixed-size *waves*: ``N`` requests at a time, arrival clocks reset
+at every wave boundary, the system fully drained between waves.  That shape
+hides steady-state queueing — the very thing concurrency experiments are
+about.  The :class:`Driver` replays the workload generator's **true Poisson
+arrival process** instead: ingest events happen at first touch in arrival
+order, admitted queries enter one continuous event simulation with their
+absolute arrival times, and queueing emerges from the schedule rather than
+from wave boundaries.
+
+Admission is pluggable: an :class:`AdmissionPolicy` sees every arrival and
+may shed it (open-loop load shedding); shed requests are counted in the
+:class:`~repro.serving.api.types.RunReport` and never enter the simulation.
+
+Topology events (node failures/recoveries) split the run into segments: each
+segment is one continuous simulation, and the event applies at the boundary.
+Cross-segment queueing state resets — exactly the semantics of a node dying
+at that point in the arrival stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Protocol, Sequence
+
+from ...storage.kv_store import CapacityError
+from .backends import Backend, ClusterBackend, build_backend
+from .spec import ServingSpec
+from .types import RunReport, ServeRequest
+
+__all__ = [
+    "AdmissionPolicy",
+    "AdmitAll",
+    "TokenBucketAdmission",
+    "ConcurrencyLimitAdmission",
+    "Driver",
+    "serve",
+]
+
+
+class AdmissionPolicy(Protocol):
+    """Decides, per arrival, whether a request is served or shed."""
+
+    def admit(self, request: ServeRequest) -> bool:
+        """True to serve the request, False to shed it.
+
+        Called once per arrival, in arrival order; policies may keep state
+        keyed on ``request.arrival_s`` (the clock only moves forward within
+        one run).  A workload generator restarts its arrival clock on every
+        :meth:`Driver.run`, so stateful policies should also implement
+        ``reset()`` — the driver calls it at the start of each run.
+        """
+        ...
+
+
+class AdmitAll:
+    """The default policy: every arrival is served."""
+
+    def admit(self, request: ServeRequest) -> bool:
+        return True
+
+
+class TokenBucketAdmission:
+    """Classic token-bucket shedding: sustained rate + burst headroom.
+
+    The bucket refills at ``rate_per_s`` and holds at most ``burst`` tokens;
+    an arrival that finds the bucket empty is shed.  This bounds the rate the
+    backend sees regardless of the offered load.
+    """
+
+    def __init__(self, rate_per_s: float, burst: int = 1) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._tokens = float(burst)
+        self._last_s = 0.0
+
+    def reset(self) -> None:
+        """Start a fresh run: full bucket, arrival clock back at zero."""
+        self._tokens = float(self.burst)
+        self._last_s = 0.0
+
+    def admit(self, request: ServeRequest) -> bool:
+        elapsed = max(request.arrival_s - self._last_s, 0.0)
+        self._last_s = request.arrival_s
+        self._tokens = min(self._tokens + elapsed * self.rate_per_s, float(self.burst))
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class ConcurrencyLimitAdmission:
+    """Shed arrivals that would exceed a modeled in-flight limit.
+
+    Open-loop drivers do not know true completion times up front, so the
+    policy models each admitted request as busy for ``est_service_s`` and
+    sheds an arrival when ``max_inflight`` modeled requests are still busy.
+    """
+
+    def __init__(self, max_inflight: int, est_service_s: float) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if est_service_s <= 0:
+            raise ValueError("est_service_s must be positive")
+        self.max_inflight = max_inflight
+        self.est_service_s = est_service_s
+        self._departures: list[float] = []
+
+    def reset(self) -> None:
+        """Start a fresh run: no modeled requests in flight.
+
+        Without this, departures timed on a previous run's (absolute) clock
+        would pin every slot busy forever once the next run's arrival clock
+        restarts at zero.
+        """
+        self._departures = []
+
+    def admit(self, request: ServeRequest) -> bool:
+        now = request.arrival_s
+        self._departures = [d for d in self._departures if d > now]
+        if len(self._departures) >= self.max_inflight:
+            return False
+        self._departures.append(now + self.est_service_s)
+        return True
+
+
+class Driver:
+    """Replays an arrival process end to end through any backend.
+
+    Parameters
+    ----------
+    backend:
+        A built :class:`~repro.serving.api.backends.Backend`, or a
+        :class:`~repro.serving.api.spec.ServingSpec` to build one from.
+    workload:
+        A :class:`~repro.cluster.workload.WorkloadGenerator` (its
+        ``iter_requests`` supplies the arrival process) or any iterable of
+        :class:`ServeRequest` / workload ``Request`` objects.
+    admission:
+        Pluggable shedding hook; defaults to :class:`AdmitAll`.
+    reingest_on_miss:
+        Re-ingest a known context that was served from text because every
+        replica lost it, so placement keeps following popularity across
+        :meth:`run` calls.
+    node_failures / node_recoveries:
+        Request index -> node id, applied at that arrival (cluster backends
+        only).  Each event closes the current simulation segment.
+    max_batch:
+        Optional cap on requests per simulation segment.  ``None`` (default)
+        runs the whole stream as one continuous open-loop simulation.
+
+    Notes
+    -----
+    On capacity-bounded deployments (``spec.max_bytes_per_node`` set) every
+    first-touch ingest is also a segment boundary: pending requests are
+    served against the store state current at *their* arrival before the
+    ingest may evict anything they were routed to.  Unbounded stores only
+    grow, so there the run stays one continuous simulation end to end.
+    """
+
+    def __init__(
+        self,
+        backend: Backend | ServingSpec,
+        workload=None,
+        *,
+        admission: AdmissionPolicy | None = None,
+        reingest_on_miss: bool = True,
+        node_failures: Mapping[int, str] | None = None,
+        node_recoveries: Mapping[int, str] | None = None,
+        max_batch: int | None = None,
+    ) -> None:
+        if isinstance(backend, ServingSpec):
+            backend = build_backend(backend)
+        if max_batch is not None and max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.backend = backend
+        self.workload = workload
+        self.admission = admission or AdmitAll()
+        self.reingest_on_miss = reingest_on_miss
+        self.node_failures = dict(node_failures or {})
+        self.node_recoveries = dict(node_recoveries or {})
+        self.max_batch = max_batch
+        if (self.node_failures or self.node_recoveries) and not isinstance(
+            backend, ClusterBackend
+        ):
+            raise ValueError("topology events require a cluster backend")
+        #: Contexts ever ingested — persists across run() calls.
+        self._known: set[str] = set()
+        self._known_tokens: dict[str, int] = {}
+
+    # --------------------------------------------------------------- requests
+    def _requests(self, num_requests: int | None) -> list[ServeRequest]:
+        spec = self.backend.spec
+        slo = spec.slo_s if spec.adaptive else None
+        if self.workload is None:
+            raise ValueError("no workload to drive")
+        if hasattr(self.workload, "iter_requests"):
+            if num_requests is None:
+                raise ValueError("num_requests is required with a workload generator")
+            source: Iterable = self.workload.iter_requests(num_requests)
+        else:
+            source = self.workload
+        requests = []
+        for item in source:
+            if isinstance(item, ServeRequest):
+                if item.slo_s is None and slo is not None:
+                    item = ServeRequest(
+                        context_id=item.context_id,
+                        question=item.question,
+                        arrival_s=item.arrival_s,
+                        num_tokens=item.num_tokens,
+                        task=item.task,
+                        slo_s=slo,
+                    )
+                requests.append(item)
+            else:
+                requests.append(ServeRequest.from_workload(item, slo_s=slo))
+        if num_requests is not None:
+            requests = requests[:num_requests]
+        return requests
+
+    # --------------------------------------------------------------------- run
+    def run(self, num_requests: int | None = None) -> RunReport:
+        """Serve the arrival stream open-loop and report the outcome."""
+        backend = self.backend
+        requests = self._requests(num_requests)
+        reset = getattr(self.admission, "reset", None)
+        if callable(reset):
+            reset()
+        evictions_before = backend.total_evictions()
+        tier_before = backend.tier_counters()
+        # Under capacity pressure an ingest can evict a context a pending
+        # request was routed to at *its* arrival: serve what has already
+        # arrived before mutating the stores.  Unbounded stores only ever
+        # grow, so there the whole stream stays one continuous simulation.
+        ingest_is_barrier = backend.spec.max_bytes_per_node is not None
+
+        ingests = 0
+        failed_ingests = 0
+        replication_bytes = 0.0
+        shed = 0
+        hard_failures = 0
+        responses = []
+        pending: list[ServeRequest] = []
+
+        def flush() -> None:
+            nonlocal hard_failures
+            if not pending:
+                return
+            batch, pending[:] = list(pending), []
+            for request in batch:
+                backend.submit(request)
+            try:
+                responses.extend(backend.run())
+            except Exception:
+                # The continuous segment failed wholesale.  Re-serve it one
+                # request at a time so a single bad request costs itself, not
+                # its segment-mates (mirrors the legacy wave fallback).
+                for request in batch:
+                    backend.submit(request)
+                    try:
+                        responses.extend(backend.run())
+                    except Exception:
+                        hard_failures += 1
+
+        for index, request in enumerate(requests):
+            if index in self.node_failures or index in self.node_recoveries:
+                flush()
+                if index in self.node_failures:
+                    backend.mark_down(self.node_failures[index])
+                if index in self.node_recoveries:
+                    backend.mark_up(self.node_recoveries[index])
+            if not self.admission.admit(request):
+                shed += 1
+                continue
+            if request.context_id not in self._known and request.num_tokens is not None:
+                if ingest_is_barrier:
+                    flush()
+                try:
+                    report = backend.ingest(request.context_id, request.num_tokens)
+                except CapacityError:
+                    failed_ingests += 1
+                else:
+                    self._known.add(request.context_id)
+                    self._known_tokens[request.context_id] = request.num_tokens
+                    ingests += 1
+                    replication_bytes += getattr(report, "replicated_bytes", 0.0)
+            pending.append(request)
+            if self.max_batch is not None and len(pending) >= self.max_batch:
+                flush()
+        flush()
+
+        if self.reingest_on_miss:
+            ingests_, failed_, bytes_ = self._reingest_missed(responses)
+            ingests += ingests_
+            failed_ingests += failed_
+            replication_bytes += bytes_
+
+        served_tokens = [
+            self._known_tokens[r.context_id]
+            for r in responses
+            if r.context_id in self._known_tokens
+        ]
+        return backend.report(
+            responses,
+            shed=shed,
+            hard_failures=hard_failures,
+            ingests=ingests,
+            failed_ingests=failed_ingests,
+            replication_bytes=replication_bytes,
+            evictions_before=evictions_before,
+            tier_before=tier_before,
+            mean_context_tokens=(
+                int(sum(served_tokens) / len(served_tokens)) if served_tokens else 0
+            ),
+            # Shed/failed arrivals are part of the offered process even though
+            # no response records their times.
+            min_duration_s=max((r.arrival_s for r in requests), default=0.0),
+        )
+
+    def _reingest_missed(self, responses) -> tuple[int, int, float]:
+        """Re-ingest known contexts that degraded to text (capacity churn)."""
+        ingests = failed = 0
+        replication_bytes = 0.0
+        seen: set[str] = set()
+        for response in responses:
+            context_id = response.context_id
+            if (
+                response.used_kv_cache
+                or context_id in seen
+                or context_id not in self._known_tokens
+                or self._resident(context_id)
+            ):
+                continue
+            seen.add(context_id)
+            try:
+                report = self.backend.ingest(
+                    context_id, self._known_tokens[context_id]
+                )
+            except CapacityError:
+                failed += 1
+            else:
+                ingests += 1
+                replication_bytes += getattr(report, "replicated_bytes", 0.0)
+        return ingests, failed, replication_bytes
+
+    def _resident(self, context_id: str) -> bool:
+        backend = self.backend
+        if isinstance(backend, ClusterBackend):
+            return context_id in backend.frontend.cluster
+        return context_id in backend.engine.store
+
+
+def serve(
+    spec: ServingSpec,
+    requests: Sequence[ServeRequest] | None = None,
+    *,
+    workload=None,
+    num_requests: int | None = None,
+    admission: AdmissionPolicy | None = None,
+    backend: str | None = None,
+    **driver_kwargs,
+) -> RunReport:
+    """One-call serving: build the spec's backend, drive a workload, report.
+
+    Pass either ``requests`` (explicit :class:`ServeRequest` objects) or
+    ``workload`` (+ ``num_requests``) for a generated arrival process.
+    ``backend`` optionally forces the adapter kind (``"single"`` /
+    ``"concurrent"`` / ``"cluster"``).
+    """
+    if (requests is None) == (workload is None):
+        raise ValueError("pass exactly one of requests= or workload=")
+    built = build_backend(spec, kind=backend)
+    driver = Driver(
+        built,
+        workload if workload is not None else list(requests),
+        admission=admission,
+        **driver_kwargs,
+    )
+    return driver.run(num_requests)

@@ -1,0 +1,218 @@
+"""The declarative serving specification.
+
+A :class:`ServingSpec` is the single description of *what to serve with*:
+model, codec levels, store topology (single node / tiered nodes / cluster),
+node count and replication, tier sizes and link speeds, expected concurrency
+and admission limits.  It is frozen and fully validated at construction, so a
+spec that constructs is a spec every backend can build — the error surface
+lives here, not spread over three constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from ...core.config import CacheGenConfig
+from ...llm.compute_model import A40, GPUSpec
+from ...network.link import NetworkLink
+
+__all__ = ["ServingSpec", "TOPOLOGIES", "EVICTION_POLICIES", "PLACEMENT_POLICIES"]
+
+#: Store topologies a spec can declare.
+TOPOLOGIES = ("single", "tiered", "cluster")
+#: Known eviction-policy names (mirrors :func:`repro.storage.eviction.make_policy`).
+EVICTION_POLICIES = ("lru", "lfu", "cost")
+#: Known tier-placement names (mirrors :func:`repro.storage.tiered.make_placement`).
+PLACEMENT_POLICIES = ("hot", "cost")
+
+
+@dataclass(frozen=True)
+class ServingSpec:
+    """Declarative description of a serving deployment.
+
+    Parameters
+    ----------
+    model:
+        Serving model name (or a :class:`~repro.llm.model_config.ModelConfig`).
+    topology:
+        ``"single"`` — one engine, one store, one link;
+        ``"tiered"`` — a cluster whose nodes each run a hot tier over a cold
+        (disk/object-store) tier behind a tier link;
+        ``"cluster"`` — a sharded, replicated cluster of single-tier nodes.
+    num_nodes / replication:
+        Cluster shape (must be 1/1 for the single topology).
+    max_bytes_per_node / cold_bytes_per_node:
+        Per-node tier capacities.  The tiered topology requires both: a cold
+        tier only demotes from a *bounded* hot tier.
+    eviction_policy / placement:
+        Policy names; validated against the known registries.
+    chunk_tokens / levels / default_level / config:
+        Codec settings.  ``levels`` restricts the configured encoding levels
+        to the named subset (order preserved); ``config`` supplies a full
+        :class:`~repro.core.config.CacheGenConfig` the conveniences refine.
+    bandwidth_gbps / node_bandwidths_gbps / tier_bandwidth_gbps / text_bandwidth_gbps:
+        Link speeds: the serving link (or one per node for heterogeneous
+        clusters), the per-node tier link, and the document-store link used by
+        the text fallback.
+    link:
+        Escape hatch: a fully custom :class:`~repro.network.NetworkLink` for
+        the single-node serving link (e.g. a random or stepped trace).
+    concurrency:
+        Declared concurrency of the workload.  ``1`` serves sequentially;
+        ``> 1`` selects the event-driven engine, where queueing emerges from
+        the shared links and GPU run queue.
+    max_decode_batch / batch_overhead:
+        Continuous-batching settings of the event-driven engine.
+    admission_limit:
+        Cap on requests in flight inside the event engine (excess arrivals
+        queue FIFO).  Load *shedding* policies are pluggable on the driver.
+    slo_s / adaptive:
+        TTFT SLO reported on runs; ``adaptive`` hands it to each query so the
+        streamer's SLO-aware adapter can degrade encoding levels.
+    base_quality:
+        Optional per-task lossless quality overrides of the quality surrogate.
+    """
+
+    model: object = "mistral-7b"
+    topology: str = "single"
+    num_nodes: int = 1
+    replication: int = 1
+    max_bytes_per_node: float | None = None
+    cold_bytes_per_node: float | None = None
+    eviction_policy: str = "lru"
+    placement: str = "hot"
+    chunk_tokens: int | None = None
+    levels: tuple[str, ...] | None = None
+    default_level: str | None = None
+    config: CacheGenConfig | None = None
+    bandwidth_gbps: float = 3.0
+    node_bandwidths_gbps: tuple[float, ...] | None = None
+    tier_bandwidth_gbps: float = 1.0
+    text_bandwidth_gbps: float | None = None
+    link: NetworkLink | None = None
+    concurrency: int = 1
+    max_decode_batch: int = 16
+    batch_overhead: float = 0.2
+    admission_limit: int | None = None
+    slo_s: float | None = None
+    adaptive: bool = True
+    gpu: GPUSpec = A40
+    base_quality: Mapping[str, float] | None = None
+
+    # -------------------------------------------------------------- validation
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; expected one of {TOPOLOGIES}"
+            )
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be at least 1")
+        if self.replication < 1:
+            raise ValueError("replication must be at least 1")
+        if self.replication > self.num_nodes:
+            raise ValueError(
+                f"replication={self.replication} exceeds num_nodes={self.num_nodes}"
+            )
+        if self.topology == "single" and (self.num_nodes != 1 or self.replication != 1):
+            raise ValueError("the single topology has exactly one node, one replica")
+        if self.eviction_policy not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {self.eviction_policy!r}; "
+                f"expected one of {EVICTION_POLICIES}"
+            )
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {self.placement!r}; "
+                f"expected one of {PLACEMENT_POLICIES}"
+            )
+        if self.cold_bytes_per_node is not None:
+            if self.cold_bytes_per_node <= 0:
+                raise ValueError("cold_bytes_per_node must be positive")
+            if self.max_bytes_per_node is None:
+                raise ValueError(
+                    "a cold tier demotes from a bounded hot tier: "
+                    "cold_bytes_per_node requires max_bytes_per_node"
+                )
+            if self.topology == "single":
+                raise ValueError(
+                    "the single topology has no tier link; use topology='tiered'"
+                )
+        if self.topology == "tiered" and self.cold_bytes_per_node is None:
+            raise ValueError(
+                "the tiered topology needs a cold tier (set cold_bytes_per_node)"
+            )
+        if self.max_bytes_per_node is not None and self.max_bytes_per_node <= 0:
+            raise ValueError("max_bytes_per_node must be positive")
+        if self.chunk_tokens is not None and self.chunk_tokens <= 0:
+            raise ValueError("chunk_tokens must be positive")
+        if self.bandwidth_gbps <= 0 or self.tier_bandwidth_gbps <= 0:
+            raise ValueError("link bandwidths must be positive")
+        if self.text_bandwidth_gbps is not None and self.text_bandwidth_gbps <= 0:
+            raise ValueError("text_bandwidth_gbps must be positive")
+        if self.node_bandwidths_gbps is not None:
+            if len(self.node_bandwidths_gbps) != self.num_nodes:
+                raise ValueError("node_bandwidths_gbps must name one speed per node")
+            if any(b <= 0 for b in self.node_bandwidths_gbps):
+                raise ValueError("node bandwidths must be positive")
+        if self.link is not None and self.topology != "single":
+            raise ValueError("a custom link only applies to the single topology")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        if self.max_decode_batch < 1:
+            raise ValueError("max_decode_batch must be at least 1")
+        if self.batch_overhead < 0:
+            raise ValueError("batch_overhead must be non-negative")
+        if self.admission_limit is not None and self.admission_limit <= 0:
+            raise ValueError("admission_limit must be positive")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValueError("slo_s must be positive")
+        # Codec levels are validated by actually resolving the config once.
+        self.resolved_config()
+
+    # ------------------------------------------------------------------- codec
+    def resolved_config(self) -> CacheGenConfig:
+        """The codec configuration this spec declares.
+
+        Starts from ``config`` (or the paper defaults), then applies the
+        ``chunk_tokens`` / ``levels`` / ``default_level`` conveniences.
+        """
+        config = self.config or CacheGenConfig()
+        if self.chunk_tokens is not None:
+            config = config.replace(chunk_tokens=self.chunk_tokens)
+        if self.levels is not None:
+            known = {level.name: level for level in config.levels}
+            unknown = [name for name in self.levels if name not in known]
+            if unknown:
+                raise ValueError(
+                    f"unknown encoding level(s) {unknown}; configured: {sorted(known)}"
+                )
+            chosen = tuple(known[name] for name in self.levels)
+            names = [level.name for level in chosen]
+            keep = (
+                config.default_level.name
+                if config.default_level.name in names
+                else names[0]
+            )
+            config = config.replace(levels=chosen, default_level_index=names.index(keep))
+        if self.default_level is not None:
+            names = [level.name for level in config.levels]
+            if self.default_level not in names:
+                raise ValueError(
+                    f"unknown default level {self.default_level!r}; configured: {names}"
+                )
+            config = config.replace(default_level_index=names.index(self.default_level))
+        return config
+
+    # ----------------------------------------------------------------- backend
+    @property
+    def backend_kind(self) -> str:
+        """Which backend adapter serves this spec (``single`` / ``concurrent``
+        / ``cluster``)."""
+        if self.topology != "single":
+            return "cluster"
+        return "single" if self.concurrency == 1 else "concurrent"
+
+    def with_(self, **changes) -> "ServingSpec":
+        """A modified copy (convenience over :func:`dataclasses.replace`)."""
+        return replace(self, **changes)

@@ -1,0 +1,350 @@
+"""Unified request/response/report shapes of the serving API.
+
+Every backend — single-node sequential, event-driven concurrent, cluster —
+speaks the same three objects:
+
+* :class:`ServeRequest` — one query (context, question, arrival time, task,
+  SLO), the submission unit of :meth:`~repro.serving.api.backends.Backend.submit`;
+* :class:`ServeResponse` — the answer plus the *union* of every field the
+  historical response subclasses drifted apart on (queueing breakdown, cluster
+  routing, tier, transfer accounting).  Fields that do not apply to a backend
+  stay at their neutral defaults, so all backends populate the same schema;
+* :class:`RunReport` — the aggregate outcome of a run: latency and queueing
+  distributions, hit/tier/failover counts, shed requests, arrival-process
+  rates, storage economics and per-node summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from ...metrics.cluster import (
+    LatencySummary,
+    NodeSummary,
+    TierState,
+    slo_attainment,
+    storage_cost_per_request,
+    summarize_latencies,
+)
+from ...metrics.system import QueueingTTFTBreakdown
+from ..pipeline import QueryResponse
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .spec import ServingSpec
+
+__all__ = ["ServeRequest", "ServeResponse", "RunReport", "EMPTY_LATENCIES"]
+
+EMPTY_LATENCIES = LatencySummary(
+    count=0, mean_s=0.0, p50_s=0.0, p95_s=0.0, p99_s=0.0, max_s=0.0
+)
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One query submitted to a serving backend.
+
+    ``num_tokens`` is required for contexts that were never ingested (the
+    text fallback needs the length); for ingested contexts it is ignored.
+    """
+
+    context_id: str
+    question: str
+    arrival_s: float = 0.0
+    num_tokens: int | None = None
+    task: str = "qa_accuracy"
+    slo_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.context_id:
+            raise ValueError("context_id must be non-empty")
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+
+    @classmethod
+    def from_workload(cls, request, slo_s: float | None = None) -> "ServeRequest":
+        """Adapt a :class:`~repro.cluster.workload.Request` to the API shape."""
+        return cls(
+            context_id=request.context_id,
+            question=request.question,
+            arrival_s=request.arrival_s,
+            num_tokens=request.num_tokens,
+            slo_s=slo_s,
+        )
+
+
+@dataclass
+class ServeResponse(QueryResponse):
+    """Query response with the unified field set of all three backends.
+
+    This collapses the field drift between the historical
+    ``ClusterQueryResponse`` (routing fields) and ``ConcurrentQueryResponse``
+    (event-schedule fields): both are now thin subclasses of this class, and
+    every backend fills the same schema.
+    """
+
+    #: Node that served the KV bitstreams (None for text or single-node runs).
+    served_by: str | None = None
+    #: The primary replica was down and a backup served the request.
+    failed_over: bool = False
+    #: Nodes the lookup touched, in order (empty outside cluster runs).
+    attempted_node_ids: tuple[str, ...] = ()
+    #: Simulated arrival / first-token times (zero under sequential serving
+    #: unless the caller supplied arrivals).
+    arrival_s: float = 0.0
+    finish_s: float = 0.0
+    #: Tier the serving replica held the context in (None for the text path).
+    served_tier: str | None = None
+    #: Serialized cold-tier read time inside the TTFT's transfer component.
+    tier_transfer_s: float = 0.0
+
+    @property
+    def queueing_s(self) -> float:
+        """Time spent waiting for admission, the link queue and the GPU queue."""
+        ttft = self.ttft
+        return ttft.queueing_s if isinstance(ttft, QueueingTTFTBreakdown) else 0.0
+
+    @classmethod
+    def upgrade(cls, response: QueryResponse, **extra) -> "ServeResponse":
+        """Lift any (possibly legacy) query response into the unified shape.
+
+        Fields already present on ``response`` are carried over; ``extra``
+        overrides or supplies the rest.
+        """
+        from dataclasses import fields as dc_fields
+
+        values = {f.name: getattr(response, f.name) for f in dc_fields(QueryResponse)}
+        # Legacy subclasses may carry some unified fields without being one.
+        for name in (
+            "served_by",
+            "failed_over",
+            "attempted_node_ids",
+            "arrival_s",
+            "finish_s",
+            "served_tier",
+            "tier_transfer_s",
+        ):
+            if hasattr(response, name):
+                values[name] = getattr(response, name)
+        values.update(extra)
+        return cls(**values)
+
+
+@dataclass
+class RunReport:
+    """Aggregate outcome of one serving run, identical across backends."""
+
+    num_requests: int
+    ttft: LatencySummary
+    #: Queueing-delay distribution (all zeros under sequential serving).
+    queueing: LatencySummary | None
+    slo_s: float | None
+    slo_attainment: float | None
+    kv_served: int
+    text_served: int
+    failovers: int
+    #: Requests the admission policy refused (open-loop driver only).
+    shed: int = 0
+    hard_failures: int = 0
+    ingests: int = 0
+    failed_ingests: int = 0
+    replication_bytes: float = 0.0
+    query_bytes: float = 0.0
+    total_evictions: int = 0
+    #: Tier traffic (zeros on single-tier topologies).
+    hot_served: int = 0
+    cold_served: int = 0
+    demotions: int = 0
+    promotions: int = 0
+    hot_bytes: float = 0.0
+    cold_bytes: float = 0.0
+    #: Appendix-E economics over the run's resident bytes and traffic.
+    storage_cost_usd_per_month: float = 0.0
+    cost_usd_per_request: float = 0.0
+    #: Arrival-process view (meaningful for arrival-driven runs): span of the
+    #: arrival process, offered vs served rates.
+    duration_s: float = 0.0
+    offered_rate_rps: float = 0.0
+    throughput_rps: float = 0.0
+    responses: list[ServeResponse] = field(default_factory=list)
+    node_summaries: list[NodeSummary] = field(default_factory=list)
+    spec: "ServingSpec | None" = None
+
+    # ------------------------------------------------------------------ ratios
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of *served* requests answered from the KV cache."""
+        served = self.kv_served + self.text_served
+        return self.kv_served / served if served else 0.0
+
+    @property
+    def hot_hit_ratio(self) -> float:
+        served = self.kv_served + self.text_served
+        return self.hot_served / served if served else 0.0
+
+    @property
+    def cold_hit_ratio(self) -> float:
+        served = self.kv_served + self.text_served
+        return self.cold_served / served if served else 0.0
+
+    @property
+    def shed_ratio(self) -> float:
+        """Fraction of offered requests the admission policy refused."""
+        return self.shed / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def bytes_moved(self) -> float:
+        return self.replication_bytes + self.query_bytes
+
+    # ---------------------------------------------------------------- assembly
+    @classmethod
+    def from_responses(
+        cls,
+        responses: Sequence[ServeResponse],
+        *,
+        spec: "ServingSpec | None" = None,
+        slo_s: float | None = None,
+        shed: int = 0,
+        hard_failures: int = 0,
+        ingests: int = 0,
+        failed_ingests: int = 0,
+        replication_bytes: float = 0.0,
+        total_evictions: int = 0,
+        tier: TierState | None = None,
+        node_summaries: Sequence[NodeSummary] = (),
+        mean_context_tokens: int = 0,
+        min_duration_s: float = 0.0,
+        cost_model=None,
+    ) -> "RunReport":
+        """Assemble the report shared by every backend and the driver.
+
+        ``tier`` carries the *delta* of demotions/promotions over the run plus
+        the bytes resident when it ended; the storage-economics fields price
+        those resident bytes against the run's traffic (Appendix E prices).
+        """
+        from ...storage.tiered import COLD, HOT
+
+        responses = list(responses)
+        ttfts = [r.ttft_s for r in responses]
+        kv_served = sum(1 for r in responses if r.used_kv_cache)
+        text_served = len(responses) - kv_served
+        hot_served = sum(1 for r in responses if r.served_tier == HOT)
+        cold_served = sum(1 for r in responses if r.served_tier == COLD)
+        tier = tier or TierState(0, 0, 0.0, 0.0)
+        num_requests = len(responses) + shed + hard_failures
+        finishes = [r.finish_s for r in responses if r.finish_s > 0.0]
+        arrivals = [r.arrival_s for r in responses]
+        duration = max(finishes) if finishes else (max(arrivals) if arrivals else 0.0)
+        # Shed arrivals leave no response but still stretch the offered span.
+        duration = max(duration, min_duration_s)
+        cost_per_request = (
+            storage_cost_per_request(
+                tier.hot_bytes,
+                tier.cold_bytes,
+                len(responses),
+                reprefill_fraction=text_served / len(responses) if responses else 0.0,
+                mean_context_tokens=mean_context_tokens,
+                cost_model=cost_model,
+            )
+            if responses
+            else 0.0
+        )
+        model = cost_model or cls._default_cost_model()
+        return cls(
+            num_requests=num_requests,
+            ttft=summarize_latencies(ttfts) if ttfts else EMPTY_LATENCIES,
+            queueing=(
+                summarize_latencies([r.queueing_s for r in responses])
+                if responses
+                else None
+            ),
+            slo_s=slo_s,
+            slo_attainment=(
+                slo_attainment(ttfts, slo_s) if slo_s is not None and ttfts else None
+            ),
+            kv_served=kv_served,
+            text_served=text_served,
+            failovers=sum(1 for r in responses if r.failed_over),
+            shed=shed,
+            hard_failures=hard_failures,
+            ingests=ingests,
+            failed_ingests=failed_ingests,
+            replication_bytes=replication_bytes,
+            query_bytes=sum(r.transmitted_bytes for r in responses),
+            total_evictions=total_evictions,
+            hot_served=hot_served,
+            cold_served=cold_served,
+            demotions=tier.demotions,
+            promotions=tier.promotions,
+            hot_bytes=tier.hot_bytes,
+            cold_bytes=tier.cold_bytes,
+            storage_cost_usd_per_month=model.monthly_storage_cost(
+                tier.hot_bytes, tier.cold_bytes
+            ),
+            cost_usd_per_request=cost_per_request,
+            duration_s=duration,
+            offered_rate_rps=num_requests / duration if duration > 0 else 0.0,
+            throughput_rps=len(responses) / duration if duration > 0 else 0.0,
+            responses=responses,
+            node_summaries=list(node_summaries),
+            spec=spec,
+        )
+
+    @staticmethod
+    def _default_cost_model():
+        from ...storage.cost import TieredCostModel
+
+        return TieredCostModel()
+
+    # ------------------------------------------------------------------ output
+    def format_table(self) -> str:
+        """Human-readable run summary (one block, plus one line per node)."""
+        lines = [
+            f"requests          {self.num_requests} "
+            f"(kv={self.kv_served}, text={self.text_served}, shed={self.shed}, "
+            f"failovers={self.failovers}, hard_failures={self.hard_failures})",
+            f"hit ratio         {self.hit_ratio:.3f}",
+            f"TTFT              p50={self.ttft.p50_s:.3f}s p95={self.ttft.p95_s:.3f}s "
+            f"p99={self.ttft.p99_s:.3f}s mean={self.ttft.mean_s:.3f}s",
+            f"ingests           {self.ingests} "
+            f"({self.replication_bytes / 1e6:.1f} MB replicated, "
+            f"{self.failed_ingests} failed)",
+            f"evictions         {self.total_evictions}",
+            f"bytes moved       {self.bytes_moved / 1e6:.1f} MB "
+            f"({self.query_bytes / 1e6:.1f} MB streamed to queries)",
+        ]
+        if self.duration_s > 0:
+            lines.append(
+                f"arrivals          {self.duration_s:.2f}s span, "
+                f"offered {self.offered_rate_rps:.2f} req/s, "
+                f"served {self.throughput_rps:.2f} req/s"
+            )
+        if self.queueing is not None and self.queueing.max_s > 0:
+            lines.append(
+                f"queueing delay    p50={self.queueing.p50_s:.3f}s "
+                f"p95={self.queueing.p95_s:.3f}s mean={self.queueing.mean_s:.3f}s"
+            )
+        if self.cold_served or self.demotions or self.promotions or self.cold_bytes:
+            lines.append(
+                f"tiers             hot={self.hot_served} cold={self.cold_served} "
+                f"demotions={self.demotions} promotions={self.promotions} "
+                f"(hot {self.hot_bytes / 1e6:.1f} MB, cold {self.cold_bytes / 1e6:.1f} MB)"
+            )
+        if self.hot_bytes or self.cold_bytes:
+            lines.append(
+                f"cost              ${self.storage_cost_usd_per_month:.4f}/month stored, "
+                f"${self.cost_usd_per_request:.6f}/request"
+            )
+        if self.slo_s is not None and self.slo_attainment is not None:
+            lines.append(
+                f"SLO               {self.slo_attainment * 100.0:.1f}% "
+                f"within {self.slo_s:.2f}s"
+            )
+        for node in self.node_summaries:
+            state = "up" if node.up else "DOWN"
+            lines.append(
+                f"  {node.node_id:<10} {state:<5} routed={node.requests_routed:<5} "
+                f"hit_ratio={node.hit_ratio:.3f} evictions={node.evictions:<4} "
+                f"resident={node.contexts_resident} ({node.stored_bytes / 1e6:.1f} MB)"
+            )
+        return "\n".join(lines)

@@ -24,7 +24,8 @@ from typing import TYPE_CHECKING
 
 from ...metrics.system import QueueingTTFTBreakdown
 from ...streaming.adaptation import FixedLevelPolicy, SLOAwareAdapter
-from ..pipeline import QueryResponse
+from .._compat import warn_deprecated_entry_point
+from ..api.types import ServeResponse
 from .processes import TIER_CONFIG, ChunkedKVLoad, LoadStage, StaticLoad
 from .resources import DECODE, PREFILL
 from .simulator import ConcurrentLoadSimulator, RequestTimeline
@@ -42,23 +43,14 @@ COLD = "cold"
 
 
 @dataclass
-class ConcurrentQueryResponse(QueryResponse):
-    """Query response extended with the event-driven timing decomposition."""
+class ConcurrentQueryResponse(ServeResponse):
+    """Query response of the event-driven engine.
 
-    served_by: str | None = None
-    failed_over: bool = False
-    arrival_s: float = 0.0
-    finish_s: float = 0.0
-    #: Tier the serving replica held the context in (None for the text path).
-    served_tier: str | None = None
-    #: Serialized cold-tier read time inside the TTFT's transfer component.
-    tier_transfer_s: float = 0.0
-
-    @property
-    def queueing_s(self) -> float:
-        """Time spent waiting for admission, the link queue and the GPU queue."""
-        ttft = self.ttft
-        return ttft.queueing_s if isinstance(ttft, QueueingTTFTBreakdown) else 0.0
+    Historically this subclass carried the event-schedule fields
+    (``arrival_s`` / ``finish_s`` / ``queueing_s``); those now live on the
+    unified :class:`~repro.serving.api.ServeResponse`, of which this is a
+    field-for-field alias kept for back compatibility.
+    """
 
 
 @dataclass
@@ -80,6 +72,8 @@ class _Resolution:
     stored: object | None = None
     node: object | None = None  # StorageNode in cluster mode
     failed_over: bool = False
+    #: Nodes the cluster lookup touched before settling, in order.
+    attempted: tuple[str, ...] = ()
     #: Tier the replica held the context in when routing was decided.
     tier: str | None = None
 
@@ -100,6 +94,11 @@ class ConcurrentEngine:
         duration).
     admission_limit:
         Optional cap on requests in flight; excess arrivals queue FIFO.
+
+    .. deprecated::
+        Direct construction is deprecated; declare a
+        :class:`repro.serving.api.ServingSpec` with ``concurrency > 1`` and
+        use :func:`repro.serving.api.serve` / ``build_backend`` instead.
     """
 
     def __init__(
@@ -109,6 +108,9 @@ class ConcurrentEngine:
         batch_overhead: float = 0.2,
         admission_limit: int | None = None,
     ) -> None:
+        warn_deprecated_entry_point(
+            "ConcurrentEngine", 'ServingSpec(topology="single", concurrency=N)'
+        )
         self.engine = engine
         self.max_decode_batch = max_decode_batch
         self.batch_overhead = batch_overhead
@@ -218,8 +220,10 @@ class ConcurrentEngine:
         cluster = getattr(engine, "cluster", None)
         num_tokens = submission.num_tokens
 
+        attempted: tuple[str, ...] = ()
         if cluster is not None:
             lookup = cluster.locate(submission.context_id)
+            attempted = lookup.attempted_node_ids
             if lookup.found:
                 node, stored = lookup.node, lookup.stored
                 tier_read_s = 0.0
@@ -240,6 +244,7 @@ class ConcurrentEngine:
                         stored=stored,
                         node=node,
                         failed_over=lookup.failed_over,
+                        attempted=attempted,
                         tier=lookup.tier,
                     )
                 num_tokens = stored.num_tokens
@@ -257,7 +262,7 @@ class ConcurrentEngine:
             raise ValueError(
                 "num_tokens is required for contexts that have not been ingested"
             )
-        return _Resolution(use_kv=False, num_tokens=num_tokens)
+        return _Resolution(use_kv=False, num_tokens=num_tokens, attempted=attempted)
 
     def _build_process(self, submission: _Submission, resolution: _Resolution):
         engine = self.engine
@@ -353,6 +358,7 @@ class ConcurrentEngine:
             transmitted_bytes=timeline.served_bytes,
             served_by=served_by,
             failed_over=resolution.failed_over,
+            attempted_node_ids=resolution.attempted,
             arrival_s=timeline.arrival_s,
             finish_s=timeline.finish_s,
             served_tier=resolution.tier if resolution.use_kv else None,

@@ -34,9 +34,11 @@ from ..llm.quality import QualityModel
 from ..llm.synthetic_model import SyntheticLLM
 from ..metrics.system import TTFTBreakdown
 from ..network.link import NetworkLink
+from ..storage.eviction import EvictionPolicy, make_policy
 from ..storage.kv_store import KVCacheStore
 from ..streaming.adaptation import FixedLevelPolicy, SLOAwareAdapter
 from ..streaming.streamer import KVStreamer
+from ._compat import warn_deprecated_entry_point
 from .pipeline import IngestReport, QueryResponse
 
 __all__ = ["ContextLoadingEngine"]
@@ -75,6 +77,14 @@ class ContextLoadingEngine:
         GPU specification of the serving node.
     base_quality:
         Optional per-task lossless quality overrides for the quality surrogate.
+    store_max_bytes / store_eviction_policy:
+        Optional capacity bound (and victim-selection policy) of the node's
+        bitstream store; ``None`` keeps the store unbounded.
+
+    .. deprecated::
+        Direct construction is deprecated; declare a
+        :class:`repro.serving.api.ServingSpec` and use
+        :func:`repro.serving.api.serve` / ``build_backend`` instead.
     """
 
     def __init__(
@@ -84,7 +94,13 @@ class ContextLoadingEngine:
         config: CacheGenConfig | None = None,
         gpu: GPUSpec = A40,
         base_quality: dict[str, float] | None = None,
+        store_max_bytes: float | None = None,
+        store_eviction_policy: str | EvictionPolicy = "lru",
     ) -> None:
+        if type(self) is ContextLoadingEngine:
+            warn_deprecated_entry_point(
+                "ContextLoadingEngine", 'ServingSpec(topology="single")'
+            )
         if isinstance(model, str):
             model = get_model_config(model)
         self.model = model
@@ -97,12 +113,19 @@ class ContextLoadingEngine:
         encoder.fit(
             [llm.calculate_kv(f"__profile-{i}", _PROFILE_TOKENS) for i in range(_PROFILE_SAMPLES)]
         )
+        policy = (
+            make_policy(store_eviction_policy)
+            if isinstance(store_eviction_policy, str)
+            else store_eviction_policy
+        )
         self._parts = _EngineComponents(
             llm=llm,
             compute=ComputeModel(model, gpu),
             encoder=encoder,
             decoder=CacheGenDecoder(encoder),
-            store=KVCacheStore(encoder),
+            store=KVCacheStore(
+                encoder, max_bytes=store_max_bytes, eviction_policy=policy
+            ),
         )
         self._reference_cache: OrderedDict[tuple[str, int], KVCache] = OrderedDict()
 

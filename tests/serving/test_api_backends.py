@@ -1,0 +1,201 @@
+"""The unified backends: one spec, three engines, one response schema."""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import fields
+
+import pytest
+
+from repro.core import CacheGenConfig
+from repro.serving import ContextLoadingEngine, ServeRequest, ServeResponse, ServingSpec
+from repro.serving.api import build_backend, serve
+from repro.serving.concurrent import ConcurrentEngine
+
+BASE = ServingSpec(model="mistral-7b", chunk_tokens=256)
+REQUESTS = [
+    ServeRequest("api-doc", f"Question {i}?", arrival_s=0.05 * i, num_tokens=640)
+    for i in range(3)
+]
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """The same workload served through all three backends."""
+    return {
+        "single": serve(BASE, REQUESTS),
+        "concurrent": serve(BASE.with_(concurrency=3), REQUESTS),
+        "cluster": serve(
+            BASE.with_(topology="cluster", num_nodes=2, replication=2, concurrency=3),
+            REQUESTS,
+        ),
+    }
+
+
+class TestEndToEnd:
+    def test_every_backend_serves_every_request(self, reports):
+        for report in reports.values():
+            assert report.num_requests == len(REQUESTS)
+            assert report.kv_served == len(REQUESTS)
+            assert report.hard_failures == 0
+            assert report.shed == 0
+
+    def test_unified_response_schema(self, reports):
+        """All three backends populate the exact same field set."""
+        field_sets = {}
+        for kind, report in reports.items():
+            assert len(report.responses) == len(REQUESTS)
+            for response in report.responses:
+                assert isinstance(response, ServeResponse)
+            field_sets[kind] = {
+                f.name for f in fields(report.responses[0])
+            }
+        assert field_sets["single"] == field_sets["concurrent"] == field_sets["cluster"]
+        # And the unified fields are really there, not just defaulted away.
+        for report in reports.values():
+            response = report.responses[0]
+            assert response.used_kv_cache
+            assert response.served_tier == "hot"
+            assert response.ttft_s > 0
+            assert response.finish_s >= response.arrival_s
+            assert response.queueing_s >= 0.0
+
+    def test_cluster_fields_populated_only_where_meaningful(self, reports):
+        assert all(r.served_by is None for r in reports["single"].responses)
+        assert all(r.served_by is not None for r in reports["cluster"].responses)
+
+    def test_reports_share_one_shape(self, reports):
+        for report in reports.values():
+            assert report.ttft.count == len(REQUESTS)
+            assert report.queueing is not None
+            assert report.ingests == 1  # one context, ingested on first touch
+            assert report.query_bytes > 0
+            assert report.duration_s > 0
+            assert report.throughput_rps > 0
+
+    def test_report_formats_as_table(self, reports):
+        for kind, report in reports.items():
+            table = report.format_table()
+            assert "requests" in table
+            assert "TTFT" in table
+            assert "arrivals" in table
+        assert "node-0" in reports["cluster"].format_table()
+
+    def test_report_ratio_properties(self, reports):
+        report = reports["cluster"]
+        assert report.hit_ratio == 1.0
+        assert report.hot_hit_ratio == 1.0
+        assert report.cold_hit_ratio == 0.0
+        assert report.shed_ratio == 0.0
+        assert report.bytes_moved == report.replication_bytes + report.query_bytes
+
+    def test_upgrade_carries_legacy_fields(self, reports):
+        from repro.serving.api import ServeResponse
+
+        original = reports["cluster"].responses[0]
+        upgraded = ServeResponse.upgrade(original, failed_over=True)
+        assert upgraded.served_by == original.served_by
+        assert upgraded.served_tier == original.served_tier
+        assert upgraded.arrival_s == original.arrival_s
+        assert upgraded.failed_over  # override wins
+
+    def test_serve_requires_exactly_one_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            serve(BASE)
+        with pytest.raises(ValueError, match="exactly one"):
+            serve(BASE, REQUESTS, workload=object())
+
+
+class TestBackendKinds:
+    def test_kind_override_checks_topology(self):
+        with pytest.raises(ValueError, match="single topology"):
+            build_backend(BASE.with_(topology="cluster", num_nodes=2), kind="single")
+        with pytest.raises(ValueError, match="cluster backend"):
+            build_backend(BASE, kind="cluster")
+        with pytest.raises(ValueError, match="unknown backend kind"):
+            build_backend(BASE, kind="serverless")
+
+
+class TestDeprecationShims:
+    """The legacy entry points warn — and build the same stack as the spec."""
+
+    def test_api_construction_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            build_backend(BASE)
+            build_backend(BASE.with_(concurrency=2))
+            build_backend(BASE.with_(topology="cluster", num_nodes=2, replication=2))
+
+    def test_engine_shim_matches_single_backend(self):
+        spec = BASE.with_(max_bytes_per_node=5e8, eviction_policy="lfu")
+        backend = build_backend(spec)
+        with pytest.warns(DeprecationWarning, match="ContextLoadingEngine"):
+            legacy = ContextLoadingEngine(
+                "mistral-7b",
+                config=CacheGenConfig(chunk_tokens=256),
+                store_max_bytes=5e8,
+                store_eviction_policy="lfu",
+            )
+        assert backend.engine.config == legacy.config
+        assert backend.engine.store.max_bytes == legacy.store.max_bytes
+        assert type(backend.engine.store.eviction_policy) is type(
+            legacy.store.eviction_policy
+        )
+        assert backend.engine.model.name == legacy.model.name
+
+    def test_concurrent_shim_matches_concurrent_backend(self):
+        spec = BASE.with_(concurrency=4, max_decode_batch=8, admission_limit=2)
+        backend = build_backend(spec)
+        with pytest.warns(DeprecationWarning, match="ConcurrentEngine"):
+            legacy = ConcurrentEngine(
+                backend.engine, max_decode_batch=8, admission_limit=2
+            )
+        built = backend._concurrent
+        assert built.max_decode_batch == legacy.max_decode_batch
+        assert built.batch_overhead == legacy.batch_overhead
+        assert built.admission_limit == legacy.admission_limit
+        assert built.engine is legacy.engine
+
+    def test_cluster_shim_matches_cluster_backend(self):
+        from repro.cluster import ClusterFrontend
+
+        spec = BASE.with_(
+            topology="tiered",
+            num_nodes=3,
+            replication=2,
+            max_bytes_per_node=2e8,
+            cold_bytes_per_node=8e8,
+            eviction_policy="lfu",
+        )
+        backend = build_backend(spec)
+        with pytest.warns(DeprecationWarning, match="ClusterFrontend"):
+            legacy = ClusterFrontend(
+                "mistral-7b",
+                node_links=3,
+                replication_factor=2,
+                max_bytes_per_node=2e8,
+                cold_bytes_per_node=8e8,
+                eviction_policy="lfu",
+                config=CacheGenConfig(chunk_tokens=256),
+            )
+        built = backend.frontend
+        assert set(built.nodes) == set(legacy.nodes)
+        assert (
+            built.cluster.replication_factor == legacy.cluster.replication_factor == 2
+        )
+        for node_id in built.nodes:
+            ours, theirs = built.nodes[node_id].store, legacy.nodes[node_id].store
+            assert type(ours) is type(theirs)
+            assert ours.hot.max_bytes == theirs.hot.max_bytes == 2e8
+            assert ours.cold.max_bytes == theirs.cold.max_bytes == 8e8
+        assert built.config == legacy.config
+
+    def test_legacy_subclasses_are_serve_responses(self):
+        from repro.cluster.frontend import ClusterQueryResponse
+        from repro.serving.concurrent import ConcurrentQueryResponse
+
+        assert issubclass(ClusterQueryResponse, ServeResponse)
+        assert issubclass(ConcurrentQueryResponse, ServeResponse)
+        assert {f.name for f in fields(ClusterQueryResponse)} == {
+            f.name for f in fields(ConcurrentQueryResponse)
+        } == {f.name for f in fields(ServeResponse)}

@@ -1,0 +1,29 @@
+"""Examples stay loadable: every script compiles and exposes ``main``.
+
+The full scripts are executed (with ``REPRO_SMOKE=1``) by the CI
+``examples-smoke`` job; this tier-1 check only guards against import/syntax
+rot without paying the runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles_and_has_main(path: Path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    compile(tree, str(path), "exec")
+    functions = {
+        node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in functions
