@@ -15,6 +15,9 @@ Public entry points
 * :class:`repro.core.CacheGenEncoder` / :class:`repro.core.CacheGenDecoder` —
   the codec itself.
 * :class:`repro.streaming.KVStreamer` — SLO-aware streaming of encoded chunks.
+* :class:`repro.Tracer` / :func:`repro.write_chrome_trace` — full-run
+  telemetry: per-request spans, resource timelines, a metrics registry, and
+  Perfetto-loadable trace export (``serve(..., tracer=Tracer())``).
 * :mod:`repro.baselines` — every method the paper compares against.
 * :mod:`repro.experiments` — one module per table/figure of the evaluation.
 * :mod:`repro.cluster` — sharded, replicated, capacity-bounded KV-cache
@@ -40,6 +43,7 @@ from .serving import (
     serve,
 )
 from .streaming import KVStreamer, SLOAwareAdapter, prepare_chunks
+from .telemetry import Tracer, write_chrome_trace, write_jsonl
 
 __version__ = "1.1.0"
 
@@ -67,6 +71,7 @@ __all__ = [
     "ServingSpec",
     "StepTrace",
     "SyntheticLLM",
+    "Tracer",
     "WorkloadGenerator",
     "__version__",
     "build_backend",
@@ -74,4 +79,6 @@ __all__ = [
     "get_model_config",
     "prepare_chunks",
     "serve",
+    "write_chrome_trace",
+    "write_jsonl",
 ]

@@ -140,6 +140,26 @@ class ShardedKVStore:
         self._catalogue: dict[str, int] = {}
         self.stats = ClusterStats()
 
+    #: Optional telemetry hookup (set by ``Backend.attach_tracer``): lookup
+    #: failovers and full misses emit instants on ``trace_track``.
+    tracer = None
+    trace_track = "cluster"
+
+    def _lookup_event(self, name: str, context_id: str, attempted: list[str]) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant(
+                name,
+                track=self.trace_track,
+                category="cluster",
+                context_id=context_id,
+                attempted=list(attempted),
+            )
+            counter_name = "lookup_failovers" if name == "failover" else "lookup_full_misses"
+            tracer.metrics.counter(
+                counter_name, f"{name} events during replica lookup"
+            ).inc()
+
     # ----------------------------------------------------------------- topology
     @property
     def nodes(self) -> Mapping[str, StorageNode]:
@@ -358,6 +378,7 @@ class ShardedKVStore:
             candidates.append((node, tier))
         if not candidates:
             self.stats.full_misses += 1
+            self._lookup_event("full_miss", context_id, attempted)
             return Lookup(node=None, stored=None, attempted_node_ids=tuple(attempted))
 
         level_name = self.encoder.config.default_level.name
@@ -393,6 +414,7 @@ class ShardedKVStore:
                 self.stats.cold_lookup_hits += 1
             if attempted:
                 self.stats.failovers += 1
+                self._lookup_event("failover", context_id, attempted)
             self.stats.per_node_locates[best.node_id] = (
                 self.stats.per_node_locates.get(best.node_id, 0) + 1
             )
@@ -400,6 +422,7 @@ class ShardedKVStore:
                 node=best, stored=stored, attempted_node_ids=tuple(attempted), tier=tier
             )
         self.stats.full_misses += 1
+        self._lookup_event("full_miss", context_id, attempted)
         return Lookup(node=None, stored=None, attempted_node_ids=tuple(attempted))
 
     def known_tokens(self, context_id: str) -> int | None:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..metrics.cluster import (
+    EMPTY_LATENCY_SUMMARY,
     LatencySummary,
     NodeSummary,
     slo_attainment,
@@ -42,11 +43,6 @@ from .frontend import ClusterFrontend
 from .workload import Request, WorkloadGenerator
 
 __all__ = ["RequestRecord", "ClusterReport", "ClusterSimulator"]
-
-_EMPTY_LATENCIES = LatencySummary(
-    count=0, mean_s=0.0, p50_s=0.0, p95_s=0.0, p99_s=0.0, max_s=0.0
-)
-
 
 @dataclass(frozen=True)
 class RequestRecord:
@@ -288,7 +284,7 @@ class ClusterSimulator:
             num_requests=num_requests,
             hard_failures=hard_failures,
             failed_ingests=self._failed_ingests,
-            ttft=summarize_latencies(ttfts) if ttfts else _EMPTY_LATENCIES,
+            ttft=summarize_latencies(ttfts) if ttfts else EMPTY_LATENCY_SUMMARY,
             slo_s=self.slo_s,
             slo_attainment=(
                 slo_attainment(ttfts, self.slo_s)

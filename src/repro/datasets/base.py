@@ -17,6 +17,8 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
+from ..metrics.stats import percentiles
+
 __all__ = ["ContextRecord", "SyntheticDataset"]
 
 #: Context length bounds reported for the whole evaluation corpus.
@@ -115,9 +117,10 @@ class SyntheticDataset:
     def length_statistics(self, limit: int | None = None) -> dict[str, float]:
         """Size / median / std / P95 of the generated context lengths (Table 2)."""
         lengths = np.array([record.num_tokens for record in self.records(limit)])
+        median, p95 = percentiles(lengths, (50.0, 95.0))
         return {
             "size": int(len(lengths)),
-            "median": float(np.median(lengths)),
+            "median": median,
             "std": float(np.std(lengths)),
-            "p95": float(np.percentile(lengths, 95)),
+            "p95": p95,
         }

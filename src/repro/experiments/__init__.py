@@ -8,7 +8,7 @@ for tighter estimates.
 """
 
 from .appendix_e import run_appendix_e
-from .common import ExperimentResult, Workbench, default_link
+from .common import ExperimentResult, Workbench, default_link, experiment_cli
 from .figure3 import run_figure3
 from .figure4 import run_figure4
 from .figure5 import run_figure5
@@ -57,6 +57,7 @@ __all__ = [
     "ExperimentResult",
     "Workbench",
     "default_link",
+    "experiment_cli",
     "run_appendix_e",
     "run_figure10",
     "run_figure11",

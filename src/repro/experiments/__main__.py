@@ -1,0 +1,7 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``."""
+
+import sys
+
+from .common import experiment_cli
+
+print(experiment_cli(sys.argv[1:]))  # noqa: T201

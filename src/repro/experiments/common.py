@@ -32,7 +32,7 @@ from ..llm.synthetic_model import SyntheticLLM
 from ..network.bandwidth import ConstantTrace, gbps
 from ..network.link import NetworkLink
 
-__all__ = ["ExperimentResult", "Workbench", "default_link"]
+__all__ = ["ExperimentResult", "Workbench", "default_link", "experiment_cli"]
 
 
 @dataclass
@@ -249,3 +249,68 @@ class Workbench:
             "quality": Workbench.mean(r.quality.value for r in results),
             "relative_quality": Workbench.mean(r.quality.relative_quality for r in results),
         }
+
+
+# ------------------------------------------------------------------------- CLI
+def experiment_cli(argv: Sequence[str] | None = None) -> str:
+    """Run one experiment by name and return its report as text.
+
+    This is the body of ``python -m repro.experiments``; it returns the output
+    instead of printing so the library stays print-free (the ``__main__``
+    shim does the printing).  ``--trace-out`` / ``--trace-jsonl`` record the
+    run's telemetry (experiments that accept a ``tracer``) and export it as a
+    Perfetto-loadable Chrome trace / a structured JSONL event log.
+    """
+    import argparse
+    import inspect
+
+    from . import ALL_EXPERIMENTS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run one reproduced table/figure and print its rows.",
+    )
+    parser.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS))
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON of the run (open at ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="write the run's structured JSONL event log",
+    )
+    args = parser.parse_args(argv)
+    run = ALL_EXPERIMENTS[args.experiment]
+
+    tracer = None
+    if args.trace_out is not None or args.trace_jsonl is not None:
+        if "tracer" not in inspect.signature(run).parameters:
+            parser.error(
+                f"{args.experiment} does not support tracing; traceable "
+                "experiments: "
+                + ", ".join(
+                    sorted(
+                        name
+                        for name, fn in ALL_EXPERIMENTS.items()
+                        if "tracer" in inspect.signature(fn).parameters
+                    )
+                )
+            )
+        from ..telemetry import Tracer
+
+        tracer = Tracer()
+
+    result = run(**({"tracer": tracer} if tracer is not None else {}))
+    lines = [result.format_table()]
+    if tracer is not None:
+        from ..telemetry import write_chrome_trace, write_jsonl
+
+        if args.trace_out is not None:
+            lines.append(f"wrote Chrome trace to {write_chrome_trace(tracer, args.trace_out)}")
+        if args.trace_jsonl is not None:
+            lines.append(f"wrote event log to {write_jsonl(tracer, args.trace_jsonl)}")
+    return "\n".join(lines)

@@ -16,13 +16,16 @@ then the faster path.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..baselines import UniformQuantizationBaseline
 from ..serving.api import ServeRequest, ServingSpec, build_backend
 from ..serving.concurrent.processes import StaticLoad
 from ..serving.concurrent.simulator import ConcurrentLoadSimulator
 from .common import ExperimentResult, Workbench, default_link
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from ..telemetry.trace import Tracer
 
 __all__ = ["run_figure12_concurrency", "run_figure12_context_length"]
 
@@ -38,6 +41,7 @@ def run_figure12_concurrency(
     bandwidth_gbps: float = 3.0,
     model: str = "mistral-7b",
     max_decode_batch: int = 16,
+    tracer: "Tracer | None" = None,
 ) -> ExperimentResult:
     """Reproduce Figure 12 (left): TTFT vs number of concurrent requests.
 
@@ -45,7 +49,9 @@ def run_figure12_concurrency(
     arrive at time zero and are served through the event-driven backend of one
     shared :class:`~repro.serving.api.ServingSpec` (shared link, serialized
     GPU, batched decodes); the reported TTFT is the mean across the ``n``
-    requests, and the mean queueing delay is recorded alongside it.
+    requests, and the mean queueing delay is recorded alongside it.  Pass a
+    ``tracer`` to capture every level's schedule (request spans, GPU batches,
+    link transfers) on one exportable timeline.
     """
     spec = ServingSpec(
         model=model,
@@ -55,6 +61,8 @@ def run_figure12_concurrency(
         max_decode_batch=max_decode_batch,
     )
     backend = build_backend(spec, kind="concurrent")
+    if tracer is not None:
+        backend.attach_tracer(tracer)
     backend.ingest(_KV_CONTEXT, num_tokens)
     engine = backend.engine
     question = "What does the context say?"
@@ -92,6 +100,7 @@ def run_figure12_concurrency(
         simulator = ConcurrentLoadSimulator(
             max_decode_batch=max_decode_batch,
             initial_throughput_bps=link.trace.bandwidth_at(0.0),
+            tracer=tracer,
         )
         for _ in range(n):
             simulator.add_request(

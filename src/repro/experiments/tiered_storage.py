@@ -14,11 +14,14 @@ the TTFT percentiles and the cost per request land between those extremes.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..cluster import WorkloadGenerator
 from ..serving.api import ServingSpec, serve
 from .common import ExperimentResult
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from ..telemetry.trace import Tracer
 
 __all__ = ["run_tiered_storage"]
 
@@ -34,12 +37,16 @@ def run_tiered_storage(
     slo_s: float = 1.0,
     tier_bandwidth_gbps: float = 1.0,
     seed: int = 11,
+    tracer: "Tracer | None" = None,
 ) -> ExperimentResult:
     """Sweep the hot:cold split of a fixed per-node storage budget.
 
     ``hot_fraction=1.0`` is the single-tier baseline (capacity evictions drop
     contexts); smaller fractions shift budget to the cold tier, trading hot
     hits for cold hits that pay the tier link but dodge the re-prefill.
+
+    Pass a ``tracer`` to record the sweep's full telemetry (all ratios land on
+    one timeline; demotion/promotion instants carry the per-node track names).
     """
     result = ExperimentResult(
         name="tiered-storage",
@@ -78,7 +85,7 @@ def run_tiered_storage(
             token_choices=(320, 640),
             seed=seed,
         )
-        report = serve(spec, workload=workload, num_requests=num_requests)
+        report = serve(spec, workload=workload, num_requests=num_requests, tracer=tracer)
         result.add_row(
             hot_fraction=hot_fraction,
             hit_ratio=report.hit_ratio,

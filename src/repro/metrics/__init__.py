@@ -1,9 +1,17 @@
 """Quality, system, entropy, QoE and cluster metrics used by the harness."""
 
-from .cluster import LatencySummary, NodeSummary, hit_ratio, slo_attainment, summarize_latencies
+from .cluster import (
+    EMPTY_LATENCY_SUMMARY,
+    LatencySummary,
+    NodeSummary,
+    hit_ratio,
+    slo_attainment,
+    summarize_latencies,
+)
 from .entropy import empirical_entropy_bits, grouped_entropy, grouping_entropy_comparison
 from .qoe import mean_opinion_score
 from .quality import QualitySummary, accuracy, f1_score, perplexity, summarize_quality
+from .stats import percentiles
 from .system import (
     QueueingTTFTBreakdown,
     TTFTBreakdown,
@@ -13,6 +21,7 @@ from .system import (
 )
 
 __all__ = [
+    "EMPTY_LATENCY_SUMMARY",
     "LatencySummary",
     "NodeSummary",
     "QualitySummary",
@@ -25,6 +34,7 @@ __all__ = [
     "grouping_entropy_comparison",
     "hit_ratio",
     "mean_opinion_score",
+    "percentiles",
     "perplexity",
     "size_reduction",
     "slo_attainment",

@@ -9,14 +9,17 @@ percentiles, SLO attainment, and per-node hit/eviction summaries.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from .stats import percentiles
 from .system import slo_violation_rate
 
 __all__ = [
+    "EMPTY_LATENCY_SUMMARY",
     "LatencySummary",
     "NodeSummary",
     "TierState",
@@ -125,20 +128,38 @@ def tier_state(nodes) -> TierState:
     )
 
 
+#: The summary of zero samples: all-zero percentiles with ``count == 0``.
+#: What :func:`summarize_latencies` returns for empty input, shared by every
+#: report assembly that wants to pre-build it without triggering the warning.
+EMPTY_LATENCY_SUMMARY = LatencySummary(
+    count=0, mean_s=0.0, p50_s=0.0, p95_s=0.0, p99_s=0.0, max_s=0.0
+)
+
+
 def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
-    """Latency percentiles over a sample of TTFTs (or any delays)."""
+    """Latency percentiles over a sample of TTFTs (or any delays).
+
+    Empty input yields :data:`EMPTY_LATENCY_SUMMARY` (with a warning) rather
+    than raising: an idle resource or a fully-shed run has a well-defined
+    summary — nothing happened — and report generation must not crash on it.
+    """
     arr = np.asarray(list(samples), dtype=np.float64)
     if arr.size == 0:
-        raise ValueError("no latency samples")
+        warnings.warn(
+            "summarize_latencies: no samples; returning an empty summary",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return EMPTY_LATENCY_SUMMARY
     if np.any(arr < 0):
         raise ValueError("latencies must be non-negative")
-    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    p50, p95, p99 = percentiles(arr, (50.0, 95.0, 99.0))
     return LatencySummary(
         count=int(arr.size),
         mean_s=float(arr.mean()),
-        p50_s=float(p50),
-        p95_s=float(p95),
-        p99_s=float(p99),
+        p50_s=p50,
+        p95_s=p95,
+        p99_s=p99,
         max_s=float(arr.max()),
     )
 

@@ -1,0 +1,42 @@
+"""Shared distribution statistics.
+
+Percentile math used to be hand-rolled in three places — the cluster latency
+summaries, the dataset length statistics and (now) the telemetry histograms —
+each with its own ``np.percentile`` call and its own empty-input behaviour.
+:func:`percentiles` is the one implementation they all share.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["percentiles"]
+
+
+def percentiles(
+    samples: Sequence[float], qs: Sequence[float] = (50.0, 95.0, 99.0)
+) -> tuple[float, ...]:
+    """The requested percentiles of a sample, as plain floats.
+
+    Empty input returns zeros (one per requested percentile) instead of
+    raising: summaries of idle resources — a link that never carried a
+    transfer, a histogram nothing observed — must render as empty, not crash
+    the report.
+
+    Parameters
+    ----------
+    samples:
+        The observations (any iterable of numbers).
+    qs:
+        Percentile ranks in [0, 100], e.g. ``(50, 95, 99)``.
+    """
+    for q in qs:
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile ranks must be in [0, 100], got {q}")
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        return tuple(0.0 for _ in qs)
+    values = np.atleast_1d(np.percentile(arr, list(qs)))
+    return tuple(float(v) for v in values)

@@ -8,6 +8,7 @@ with the prefill of the user's new question.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -73,12 +74,22 @@ class QueueingTTFTBreakdown(TTFTBreakdown):
 
 
 def slo_violation_rate(ttfts: Sequence[float], slo_s: float) -> float:
-    """Fraction of requests whose TTFT exceeded the SLO (Figure 13 metric)."""
+    """Fraction of requests whose TTFT exceeded the SLO (Figure 13 metric).
+
+    Zero samples mean zero observed violations: the rate is 0.0 (with a
+    warning), so SLO accounting over an idle resource or a fully-shed run
+    degrades to "nothing violated" instead of crashing report generation.
+    """
     if slo_s <= 0:
         raise ValueError("slo_s must be positive")
     ttfts = np.asarray(list(ttfts), dtype=np.float64)
     if ttfts.size == 0:
-        raise ValueError("no TTFT samples")
+        warnings.warn(
+            "slo_violation_rate: no TTFT samples; reporting a 0.0 rate",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 0.0
     return float(np.mean(ttfts > slo_s))
 
 

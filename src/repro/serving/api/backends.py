@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 from ...metrics.cluster import NodeSummary, TierState, tier_state
 from ...network.bandwidth import ConstantTrace, gbps
 from ...network.link import NetworkLink
+from ...telemetry.trace import Tracer, emit_breakdown_spans
 from .._compat import api_construction
 from ..engine import ContextLoadingEngine
 from ..pipeline import IngestReport
@@ -66,6 +67,10 @@ class Backend(Protocol):
         """Assemble the unified run report over served responses."""
         ...
 
+    def attach_tracer(self, tracer: Tracer | None) -> None:
+        """Wire a telemetry tracer through the backend's engines and stores."""
+        ...
+
     # ------------------------------------------------------------- state taps
     def total_evictions(self) -> int: ...
 
@@ -81,7 +86,27 @@ class _EngineBackend:
 
     def __init__(self, spec: ServingSpec) -> None:
         self.spec = spec
+        self.tracer: Tracer | None = None
         self._staged: list[ServeRequest] = []
+
+    # --------------------------------------------------------------- telemetry
+    def attach_tracer(self, tracer: Tracer | None) -> None:
+        """Wire a tracer through the backend (subclasses extend the wiring)."""
+        self.tracer = tracer
+
+    def _active_tracer(self) -> Tracer | None:
+        tracer = self.tracer
+        return tracer if tracer is not None and tracer.enabled else None
+
+    @staticmethod
+    def _trace_store(store, tracer: Tracer | None, track: str) -> None:
+        """Point a KV store (and its cold tier, if any) at the tracer."""
+        store.tracer = tracer
+        store.trace_track = track
+        hot = getattr(store, "hot", None)
+        if hot is not None:  # a TieredKVStore wraps an inner hot store
+            hot.tracer = tracer
+            hot.trace_track = track
 
     # ------------------------------------------------------------------ submit
     def submit(self, request: ServeRequest) -> int:
@@ -100,10 +125,13 @@ class _EngineBackend:
         ``query_fn`` maps a :class:`ServeRequest` to the wrapped engine's
         response; ``extra_fn`` may derive additional unified fields from it.
         """
+        tracer = self._active_tracer()
         order = sorted(range(len(staged)), key=lambda i: (staged[i].arrival_s, i))
         responses: list[ServeResponse | None] = [None] * len(staged)
         for i in order:
             request = staged[i]
+            if tracer is not None:
+                tracer.advance_to(request.arrival_s)
             response = query_fn(request)
             extras = {
                 "arrival_s": request.arrival_s,
@@ -111,7 +139,23 @@ class _EngineBackend:
             }
             if extra_fn is not None:
                 extras.update(extra_fn(response))
-            responses[i] = ServeResponse.upgrade(response, **extras)
+            upgraded = ServeResponse.upgrade(response, **extras)
+            responses[i] = upgraded
+            if tracer is not None:
+                root = emit_breakdown_spans(
+                    tracer,
+                    label=request.context_id,
+                    arrival_s=request.arrival_s,
+                    ttft=response.ttft,
+                )
+                root.annotate(used_kv_cache=response.used_kv_cache)
+                tracer.metrics.histogram("request_ttft_s", "per-request TTFT").observe(
+                    response.ttft_s
+                )
+                tracer.metrics.counter("requests_served", "requests served per path").inc(
+                    1, path="kv" if response.used_kv_cache else "text"
+                )
+                tracer.advance_to(upgraded.finish_s)
         return [response for response in responses if response is not None]
 
     # ------------------------------------------------------------------ report
@@ -177,6 +221,10 @@ class SingleNodeBackend(_EngineBackend):
                 )
         self.engine = engine
 
+    def attach_tracer(self, tracer: Tracer | None) -> None:
+        super().attach_tracer(tracer)
+        self._trace_store(self.engine.store, tracer, "storage:local")
+
     def ingest(self, context_id: str, num_tokens: int) -> IngestReport:
         return self.engine.ingest(context_id, num_tokens)
 
@@ -227,6 +275,10 @@ class ConcurrentBackend(SingleNodeBackend):
                 batch_overhead=spec.batch_overhead,
                 admission_limit=spec.admission_limit,
             )
+
+    def attach_tracer(self, tracer: Tracer | None) -> None:
+        super().attach_tracer(tracer)
+        self._concurrent.tracer = tracer
 
     def run(self) -> list[ServeResponse]:
         staged = self._take_staged()
@@ -299,6 +351,16 @@ class ClusterBackend(_EngineBackend):
                     batch_overhead=spec.batch_overhead,
                     admission_limit=spec.admission_limit,
                 )
+
+    # --------------------------------------------------------------- telemetry
+    def attach_tracer(self, tracer: Tracer | None) -> None:
+        super().attach_tracer(tracer)
+        cluster = self.frontend.cluster
+        cluster.tracer = tracer
+        for node_id, node in cluster.nodes.items():
+            self._trace_store(node.store, tracer, f"storage:{node_id}")
+        if self._concurrent is not None:
+            self._concurrent.tracer = tracer
 
     # ---------------------------------------------------------------- topology
     def mark_down(self, node_id: str) -> None:

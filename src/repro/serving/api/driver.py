@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Protocol, Sequence
 
 from ...storage.kv_store import CapacityError
+from ...telemetry.trace import Tracer
 from .backends import Backend, ClusterBackend, build_backend
 from .spec import ServingSpec
 from .types import RunReport, ServeRequest
@@ -153,6 +154,12 @@ class Driver:
     max_batch:
         Optional cap on requests per simulation segment.  ``None`` (default)
         runs the whole stream as one continuous open-loop simulation.
+    tracer:
+        Optional :class:`~repro.telemetry.trace.Tracer`.  When given, it is
+        wired through the backend (engines, stores, simulated resources), the
+        driver adds ingest/encode spans and shed instants, and the finished
+        :class:`RunReport` carries it as ``report.telemetry``.  ``None`` (the
+        default) keeps the untraced fast path.
 
     Notes
     -----
@@ -173,12 +180,16 @@ class Driver:
         node_failures: Mapping[int, str] | None = None,
         node_recoveries: Mapping[int, str] | None = None,
         max_batch: int | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if isinstance(backend, ServingSpec):
             backend = build_backend(backend)
         if max_batch is not None and max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         self.backend = backend
+        self.tracer = tracer
+        if tracer is not None:
+            backend.attach_tracer(tracer)
         self.workload = workload
         self.admission = admission or AdmitAll()
         self.reingest_on_miss = reingest_on_miss
@@ -232,6 +243,7 @@ class Driver:
         reset = getattr(self.admission, "reset", None)
         if callable(reset):
             reset()
+        tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
         evictions_before = backend.total_evictions()
         tier_before = backend.tier_counters()
         # Under capacity pressure an ingest can evict a context a pending
@@ -269,14 +281,43 @@ class Driver:
                         hard_failures += 1
 
         for index, request in enumerate(requests):
+            if tracer is not None:
+                tracer.advance_to(request.arrival_s)
             if index in self.node_failures or index in self.node_recoveries:
                 flush()
                 if index in self.node_failures:
                     backend.mark_down(self.node_failures[index])
+                    if tracer is not None:
+                        tracer.instant(
+                            "node down",
+                            track="cluster",
+                            at_s=request.arrival_s,
+                            category="cluster",
+                            node=self.node_failures[index],
+                        )
                 if index in self.node_recoveries:
                     backend.mark_up(self.node_recoveries[index])
+                    if tracer is not None:
+                        tracer.instant(
+                            "node up",
+                            track="cluster",
+                            at_s=request.arrival_s,
+                            category="cluster",
+                            node=self.node_recoveries[index],
+                        )
             if not self.admission.admit(request):
                 shed += 1
+                if tracer is not None:
+                    tracer.instant(
+                        "shed",
+                        track="admission",
+                        at_s=request.arrival_s,
+                        category="admission",
+                        context_id=request.context_id,
+                    )
+                    tracer.metrics.counter(
+                        "requests_shed", "arrivals refused by the admission policy"
+                    ).inc()
                 continue
             if request.context_id not in self._known and request.num_tokens is not None:
                 if ingest_is_barrier:
@@ -285,11 +326,35 @@ class Driver:
                     report = backend.ingest(request.context_id, request.num_tokens)
                 except CapacityError:
                     failed_ingests += 1
+                    if tracer is not None:
+                        tracer.instant(
+                            "failed ingest",
+                            track="ingest",
+                            at_s=request.arrival_s,
+                            category="ingest",
+                            context_id=request.context_id,
+                        )
                 else:
                     self._known.add(request.context_id)
                     self._known_tokens[request.context_id] = request.num_tokens
                     ingests += 1
                     replication_bytes += getattr(report, "replicated_bytes", 0.0)
+                    if tracer is not None:
+                        tracer.span(
+                            "ingest/encode",
+                            track="ingest",
+                            start_s=request.arrival_s,
+                            dur_s=getattr(report, "encode_delay_s", 0.0),
+                            category="ingest",
+                            context_id=request.context_id,
+                            stored_bytes=getattr(report, "total_stored_bytes", 0.0),
+                        )
+                        tracer.metrics.counter(
+                            "ingests", "contexts encoded and stored"
+                        ).inc()
+                        tracer.metrics.counter(
+                            "ingested_bytes", "bytes written at ingest"
+                        ).inc(getattr(report, "total_stored_bytes", 0.0))
             pending.append(request)
             if self.max_batch is not None and len(pending) >= self.max_batch:
                 flush()
@@ -306,7 +371,7 @@ class Driver:
             for r in responses
             if r.context_id in self._known_tokens
         ]
-        return backend.report(
+        report = backend.report(
             responses,
             shed=shed,
             hard_failures=hard_failures,
@@ -322,6 +387,9 @@ class Driver:
             # no response records their times.
             min_duration_s=max((r.arrival_s for r in requests), default=0.0),
         )
+        if self.tracer is not None:
+            report.telemetry = self.tracer
+        return report
 
     def _reingest_missed(self, responses) -> tuple[int, int, float]:
         """Re-ingest known contexts that degraded to text (capacity churn)."""
@@ -364,6 +432,7 @@ def serve(
     num_requests: int | None = None,
     admission: AdmissionPolicy | None = None,
     backend: str | None = None,
+    tracer: Tracer | None = None,
     **driver_kwargs,
 ) -> RunReport:
     """One-call serving: build the spec's backend, drive a workload, report.
@@ -371,7 +440,8 @@ def serve(
     Pass either ``requests`` (explicit :class:`ServeRequest` objects) or
     ``workload`` (+ ``num_requests``) for a generated arrival process.
     ``backend`` optionally forces the adapter kind (``"single"`` /
-    ``"concurrent"`` / ``"cluster"``).
+    ``"concurrent"`` / ``"cluster"``).  A ``tracer`` records the run's full
+    telemetry and rides back on ``report.telemetry``.
     """
     if (requests is None) == (workload is None):
         raise ValueError("pass exactly one of requests= or workload=")
@@ -380,6 +450,7 @@ def serve(
         built,
         workload if workload is not None else list(requests),
         admission=admission,
+        tracer=tracer,
         **driver_kwargs,
     )
     return driver.run(num_requests)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from ...metrics.cluster import (
+    EMPTY_LATENCY_SUMMARY,
     LatencySummary,
     NodeSummary,
     TierState,
@@ -35,9 +36,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 
 __all__ = ["ServeRequest", "ServeResponse", "RunReport", "EMPTY_LATENCIES"]
 
-EMPTY_LATENCIES = LatencySummary(
-    count=0, mean_s=0.0, p50_s=0.0, p95_s=0.0, p99_s=0.0, max_s=0.0
-)
+#: Back-compat alias; the canonical constant lives in :mod:`repro.metrics`.
+EMPTY_LATENCIES = EMPTY_LATENCY_SUMMARY
 
 
 @dataclass(frozen=True)
@@ -169,6 +169,9 @@ class RunReport:
     responses: list[ServeResponse] = field(default_factory=list)
     node_summaries: list[NodeSummary] = field(default_factory=list)
     spec: "ServingSpec | None" = None
+    #: The :class:`~repro.telemetry.trace.Tracer` of a traced run (``None``
+    #: on untraced runs); export it with ``repro.telemetry.write_chrome_trace``.
+    telemetry: object | None = None
 
     # ------------------------------------------------------------------ ratios
     @property

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 
 from ...metrics.system import QueueingTTFTBreakdown
 from ...streaming.adaptation import FixedLevelPolicy, SLOAwareAdapter
+from ...telemetry.trace import Tracer, emit_timeline_spans
 from .._compat import warn_deprecated_entry_point
 from ..api.types import ServeResponse
 from .processes import TIER_CONFIG, ChunkedKVLoad, LoadStage, StaticLoad
@@ -107,6 +108,7 @@ class ConcurrentEngine:
         max_decode_batch: int = 16,
         batch_overhead: float = 0.2,
         admission_limit: int | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         warn_deprecated_entry_point(
             "ConcurrentEngine", 'ServingSpec(topology="single", concurrency=N)'
@@ -115,6 +117,7 @@ class ConcurrentEngine:
         self.max_decode_batch = max_decode_batch
         self.batch_overhead = batch_overhead
         self.admission_limit = admission_limit
+        self.tracer = tracer
         self._submissions: list[_Submission] = []
 
     # ------------------------------------------------------------------ mirror
@@ -164,11 +167,15 @@ class ConcurrentEngine:
             raise ValueError("no queries submitted")
         submissions, self._submissions = self._submissions, []
 
+        tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
         sim = ConcurrentLoadSimulator(
             max_decode_batch=self.max_decode_batch,
             batch_overhead=self.batch_overhead,
             admission_limit=self.admission_limit,
+            tracer=tracer,
         )
+        if tracer is not None:
+            self._label_links(sim)
         resolutions: list[_Resolution | None] = [None] * len(submissions)
         serving_nodes = []
         try:
@@ -176,6 +183,10 @@ class ConcurrentEngine:
                 range(len(submissions)), key=lambda i: (submissions[i].arrival_s, i)
             )
             for i in arrival_order:
+                if tracer is not None:
+                    # Routing-time events (lookup failovers, promotion on a
+                    # cold hit) land at the request's arrival on the timeline.
+                    tracer.advance_to(submissions[i].arrival_s)
                 resolution = self._resolve(submissions[i])
                 resolutions[i] = resolution
                 if resolution.node is not None and resolution.use_kv:
@@ -207,7 +218,55 @@ class ConcurrentEngine:
                 resolution.node.record_hit(
                     timeline.served_bytes, tier=resolution.tier or HOT
                 )
+        if tracer is not None:
+            self._emit_request_spans(tracer, submissions, resolutions, timelines, responses)
         return responses
+
+    # --------------------------------------------------------------- telemetry
+    def _label_links(self, sim: ConcurrentLoadSimulator) -> None:
+        """Name the links the simulator may touch, for readable trace tracks."""
+        engine = self.engine
+        sim.link_labels[id(engine.link)] = "serving"
+        cluster = getattr(engine, "cluster", None)
+        if cluster is not None:
+            for node_id, node in cluster.nodes.items():
+                sim.link_labels[id(node.link)] = node_id
+                tier_link = getattr(node.store, "tier_link", None)
+                if tier_link is not None:
+                    sim.link_labels[id(tier_link)] = f"tier:{node_id}"
+
+    def _emit_request_spans(
+        self,
+        tracer: Tracer,
+        submissions: list[_Submission],
+        resolutions: list[_Resolution | None],
+        timelines: list[RequestTimeline],
+        responses: list[ConcurrentQueryResponse],
+    ) -> None:
+        """One root span per request, plus failover instants and TTFT metrics."""
+        metrics = tracer.metrics
+        for submission, resolution, timeline, response in zip(
+            submissions, resolutions, timelines, responses
+        ):
+            root = emit_timeline_spans(
+                tracer, timeline, label=submission.context_id, tier_config=TIER_CONFIG
+            )
+            root.annotate(
+                used_kv_cache=resolution.use_kv,
+                served_by=response.served_by,
+                tier=resolution.tier,
+                failed_over=resolution.failed_over,
+            )
+            metrics.histogram("request_ttft_s", "per-request TTFT").observe(
+                response.ttft.total_s
+            )
+            metrics.histogram(
+                "request_queueing_s", "per-request queueing delay"
+            ).observe(timeline.queueing_s)
+            metrics.counter("requests_served", "requests served per path").inc(
+                1, path="kv" if resolution.use_kv else "text"
+            )
+            tracer.advance_to(timeline.finish_s)
 
     # ----------------------------------------------------------------- resolve
     def _resolve(self, submission: _Submission) -> _Resolution:

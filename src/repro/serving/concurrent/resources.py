@@ -24,10 +24,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque
+from typing import TYPE_CHECKING, Callable, Deque
 
 from ...network.link import NetworkLink, TransferResult
 from .events import SimClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from ...telemetry.trace import Tracer
 
 __all__ = ["LinkChannel", "GpuTask", "GpuScheduler", "DECODE", "PREFILL"]
 
@@ -47,13 +50,30 @@ class LinkChannel:
     spent waiting for the link.
     """
 
-    def __init__(self, clock: SimClock, link: NetworkLink) -> None:
+    def __init__(
+        self,
+        clock: SimClock,
+        link: NetworkLink,
+        tracer: "Tracer | None" = None,
+        track: str = "link",
+    ) -> None:
         self.clock = clock
         self.link = link
+        self.tracer = tracer
+        self.track = track
         self._queue: Deque[tuple[float, float, Callable[[TransferResult, float], None]]] = deque()
         self._busy = False
         self.total_wait_s = 0.0
         self.total_busy_s = 0.0
+
+    def _sample_depth(self) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            depth = self.queue_depth
+            tracer.sample("queue_depth", depth, track=self.track, at_s=self.clock.now)
+            tracer.metrics.gauge(
+                "link_queue_depth", "transfers queued or in flight per link"
+            ).set(depth, link=self.track)
 
     @property
     def queue_depth(self) -> int:
@@ -67,6 +87,7 @@ class LinkChannel:
         if num_bytes < 0:
             raise ValueError("num_bytes must be non-negative")
         self._queue.append((num_bytes, self.clock.now, on_complete))
+        self._sample_depth()
         self._pump()
 
     def _pump(self) -> None:
@@ -78,9 +99,30 @@ class LinkChannel:
         transfer = self.link.transfer(num_bytes, self.clock.now)
         self.total_wait_s += wait_s
         self.total_busy_s += transfer.duration
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.span(
+                "transfer",
+                track=self.track,
+                start_s=self.clock.now,
+                dur_s=transfer.duration,
+                category="transfer",
+                bytes=num_bytes,
+                wait_s=wait_s,
+            )
+            tracer.metrics.counter("link_busy_s", "seconds each link spent transferring").inc(
+                transfer.duration, link=self.track
+            )
+            tracer.metrics.counter("link_wait_s", "seconds transfers waited per link").inc(
+                wait_s, link=self.track
+            )
+            tracer.metrics.counter("link_bytes", "bytes moved per link").inc(
+                num_bytes, link=self.track
+            )
 
         def _done() -> None:
             self._busy = False
+            self._sample_depth()
             on_complete(transfer, wait_s)
             self._pump()
 
@@ -128,6 +170,8 @@ class GpuScheduler:
         clock: SimClock,
         max_batch_size: int = 16,
         batch_overhead: float = 0.2,
+        tracer: "Tracer | None" = None,
+        track: str = "gpu",
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
@@ -136,6 +180,8 @@ class GpuScheduler:
         self.clock = clock
         self.max_batch_size = max_batch_size
         self.batch_overhead = batch_overhead
+        self.tracer = tracer
+        self.track = track
         self._queue: list[GpuTask] = []
         self._busy = False
         self._launch_pending = False
@@ -143,6 +189,15 @@ class GpuScheduler:
         self.total_wait_s = 0.0
         self.tasks_run = 0
         self.batches_run = 0
+
+    def _sample_depth(self) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            depth = self.queue_depth
+            tracer.sample("queue_depth", depth, track=self.track, at_s=self.clock.now)
+            tracer.metrics.gauge(
+                "gpu_queue_depth", "tasks queued or running per GPU scheduler"
+            ).set(depth, gpu=self.track)
 
     @property
     def queue_depth(self) -> int:
@@ -162,6 +217,7 @@ class GpuScheduler:
             raise ValueError("duration_s must be non-negative")
         task.enqueued_s = self.clock.now
         self._queue.append(task)
+        self._sample_depth()
         self._schedule_launch()
 
     def _schedule_launch(self) -> None:
@@ -207,9 +263,39 @@ class GpuScheduler:
         self.batches_run += 1
         for task in batch:
             self.total_wait_s += start_s - task.enqueued_s
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            name = (
+                f"batch {head.kind} x{len(batch)}" if len(batch) > 1 else head.kind
+            )
+            tracer.span(
+                name,
+                track=self.track,
+                start_s=start_s,
+                dur_s=busy_s,
+                category=head.kind,
+                batch_size=len(batch),
+                request_ids=[task.request_id for task in batch],
+            )
+            tracer.metrics.counter("gpu_busy_s", "seconds each GPU spent launched").inc(
+                busy_s, gpu=self.track
+            )
+            tracer.metrics.counter("gpu_tasks", "GPU tasks run per scheduler").inc(
+                len(batch), gpu=self.track
+            )
+            tracer.metrics.counter("gpu_batches", "batched launches per scheduler").inc(
+                1, gpu=self.track
+            )
+            tracer.metrics.histogram(
+                "gpu_batch_size", "decode tasks coalesced per launch"
+            ).observe(len(batch), gpu=self.track)
+            tracer.metrics.counter(
+                "gpu_wait_s", "seconds tasks spent in the run queue per scheduler"
+            ).inc(sum(start_s - task.enqueued_s for task in batch), gpu=self.track)
 
         def _done() -> None:
             self._busy = False
+            self._sample_depth()
             finish_s = start_s + busy_s
             for task in batch:
                 # A member is "busy" for its own solo duration only; queue

@@ -19,9 +19,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque
+from typing import TYPE_CHECKING, Deque
 
 from ...network.link import NetworkLink, TransferResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from ...telemetry.trace import Tracer
 from .events import SimClock
 from .processes import TIER_CONFIG, LoadProcess, LoadStage
 from .resources import GpuScheduler, GpuTask, LinkChannel
@@ -146,6 +149,12 @@ class ConcurrentLoadSimulator:
     initial_throughput_bps:
         Throughput assumed for a request's first chunk, before it has measured
         anything (same role as in the single-request streamer).
+    tracer:
+        Optional :class:`~repro.telemetry.trace.Tracer`; when enabled, the
+        link channels and the GPU scheduler it builds record per-transfer /
+        per-launch spans, queue-depth samples and busy-time counters.  Track
+        names come from :attr:`link_labels` (callers map ``id(link)`` to a
+        human-readable label; unlabeled links get ``link-<n>``).
     """
 
     def __init__(
@@ -154,6 +163,7 @@ class ConcurrentLoadSimulator:
         batch_overhead: float = 0.2,
         admission_limit: int | None = None,
         initial_throughput_bps: float = 3e9,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if admission_limit is not None and admission_limit < 1:
             raise ValueError("admission_limit must be at least 1 (or None)")
@@ -163,6 +173,9 @@ class ConcurrentLoadSimulator:
         self.batch_overhead = batch_overhead
         self.admission_limit = admission_limit
         self.initial_throughput_bps = initial_throughput_bps
+        self.tracer = tracer
+        #: ``id(link)`` → human-readable label used in trace track names.
+        self.link_labels: dict[int, str] = {}
         self._pending: list[tuple[float, NetworkLink, LoadProcess, float]] = []
         #: Resource stats of the last run (for reports and tests).
         self.gpu: GpuScheduler | None = None
@@ -197,17 +210,27 @@ class ConcurrentLoadSimulator:
         if not self._pending:
             raise ValueError("no requests to simulate")
         clock = SimClock()
+        tracer = self.tracer
         gpu = GpuScheduler(
             clock,
             max_batch_size=self.max_decode_batch,
             batch_overhead=self.batch_overhead,
+            tracer=tracer,
+            track="gpu",
         )
         channels: dict[int, LinkChannel] = {}
+
+        def link_track(link: NetworkLink) -> str:
+            label = self.link_labels.get(id(link), f"link-{len(channels)}")
+            return f"link:{label}"
+
         states: list[_RequestState] = []
         for request_id, (arrival_s, link, process, throughput) in enumerate(self._pending):
             channel = channels.get(id(link))
             if channel is None:
-                channel = channels[id(link)] = LinkChannel(clock, link)
+                channel = channels[id(link)] = LinkChannel(
+                    clock, link, tracer=tracer, track=link_track(link)
+                )
             states.append(
                 _RequestState(request_id, arrival_s, channel, process, throughput)
             )
@@ -241,7 +264,9 @@ class ConcurrentLoadSimulator:
         def channel_for(link: NetworkLink) -> LinkChannel:
             channel = channels.get(id(link))
             if channel is None:
-                channel = channels[id(link)] = LinkChannel(clock, link)
+                channel = channels[id(link)] = LinkChannel(
+                    clock, link, tracer=tracer, track=link_track(link)
+                )
             return channel
 
         def advance(state: _RequestState) -> None:

@@ -96,6 +96,11 @@ class KVCacheStore:
         self._eviction_count = 0
         self._evicted_ids: list[str] = []
 
+    #: Optional telemetry hookup (set by ``Backend.attach_tracer``): capacity
+    #: evictions that truly drop a context emit an instant on ``trace_track``.
+    tracer = None
+    trace_track = "storage"
+
     # ------------------------------------------------------------------ writes
     def store_kv(self, context_id: str, kv: KVCache) -> StoredContext:
         """Encode a context's KV cache into per-chunk bitstreams and store them.
@@ -148,7 +153,22 @@ class KVCacheStore:
             self._eviction_count += 1
             self._evicted_ids.append(context_id)
             if self.capacity_evict_sink is not None:
+                # A sink turns the eviction into a demotion; the tiered store
+                # emits that event itself when the write-back lands.
                 self.capacity_evict_sink(stored)
+            else:
+                tracer = self.tracer
+                if tracer is not None and tracer.enabled:
+                    tracer.instant(
+                        "eviction",
+                        track=self.trace_track,
+                        category="storage",
+                        context_id=context_id,
+                        bytes=stored.total_bytes(),
+                    )
+                    tracer.metrics.counter(
+                        "evictions", "contexts dropped under capacity pressure"
+                    ).inc(1, store=self.trace_track)
         return True
 
     def _enforce_capacity(self, protect: str) -> None:

@@ -227,6 +227,25 @@ class TieredKVStore:
         self._pending_bytes = 0.0
         hot.capacity_evict_sink = self._on_hot_eviction
 
+    #: Optional telemetry hookup (set by ``Backend.attach_tracer``): tier
+    #: traffic (demotions, promotions, drops) emits instants on this track.
+    tracer = None
+    trace_track = "storage"
+
+    def _tier_event(self, name: str, context_id: str, num_bytes: float) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant(
+                name,
+                track=self.trace_track,
+                category="tier",
+                context_id=context_id,
+                bytes=num_bytes,
+            )
+            tracer.metrics.counter(
+                f"tier_{name}s", f"{name} events per tiered store"
+            ).inc(1, store=self.trace_track)
+
     # -------------------------------------------------------------- tier plumbing
     @property
     def encoder(self):
@@ -255,6 +274,7 @@ class TieredKVStore:
         """
         if self.cold.max_bytes is not None and stored.total_bytes() > self.cold.max_bytes:
             self.stats.demotion_drops += 1
+            self._tier_event("demotion_drop", stored.context_id, stored.total_bytes())
             return
         self._pending[stored.context_id] = stored
         self._pending_bytes += stored.total_bytes()
@@ -284,10 +304,12 @@ class TieredKVStore:
                 # victims are dropped at demotion time), but kept so a
                 # shrunk-mid-flight budget still degrades to a counted drop.
                 self.stats.demotion_drops += 1
+                self._tier_event("demotion_drop", context_id, size)
                 continue
             self.stats.demotions += 1
             self.stats.demoted_bytes += size
             self.stats.demotion_transfer_s += self.cold.read_delay_s(size)
+            self._tier_event("demotion", context_id, size)
             flushed += 1
         self._pending_bytes = 0.0
         return flushed
@@ -377,6 +399,7 @@ class TieredKVStore:
                 self.stats.promotions += 1
                 self.stats.promoted_bytes += size
                 self.stats.promotion_transfer_s += self.cold.read_delay_s(size)
+                self._tier_event("promotion", context_id, size)
         return stored
 
     def peek_context(self, context_id: str) -> StoredContext:

@@ -1,0 +1,68 @@
+"""Full-stack simulation telemetry: metrics, spans and timeline export.
+
+The package has three layers:
+
+* :mod:`~repro.telemetry.registry` — labeled Counter / Gauge / Histogram
+  primitives and the per-run :class:`MetricsRegistry`;
+* :mod:`~repro.telemetry.trace` — the simulated-clock :class:`Tracer`
+  recording nested per-request :class:`Span` trees, instant events and
+  counter samples, plus the zero-overhead :class:`NullTracer`;
+* :mod:`~repro.telemetry.export` — Chrome trace-event JSON (load the file at
+  ui.perfetto.dev) and a structured JSONL event log.
+
+Typical use::
+
+    from repro.serving.api import ServingSpec, serve
+    from repro.telemetry import Tracer, write_chrome_trace
+
+    tracer = Tracer()
+    report = serve(spec, workload, tracer=tracer)
+    write_chrome_trace(tracer, "out/trace.json")
+"""
+
+from .export import (
+    chrome_trace_events,
+    iter_jsonl_events,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    COMPUTE,
+    DECODE,
+    NULL_TRACER,
+    QUEUEING,
+    TRANSFER,
+    CounterSample,
+    InstantEvent,
+    NullTracer,
+    Span,
+    Tracer,
+    emit_breakdown_spans,
+    emit_timeline_spans,
+)
+
+__all__ = [
+    "COMPUTE",
+    "DECODE",
+    "NULL_TRACER",
+    "QUEUEING",
+    "TRANSFER",
+    "Counter",
+    "CounterSample",
+    "Gauge",
+    "Histogram",
+    "InstantEvent",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "emit_breakdown_spans",
+    "emit_timeline_spans",
+    "iter_jsonl_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -78,9 +78,11 @@ class TestSystemMetrics:
         assert slo_violation_rate([0.1, 0.6, 1.2, 0.4], 0.5) == 0.5
         assert slo_violation_rate([0.1], 0.5) == 0.0
         with pytest.raises(ValueError):
-            slo_violation_rate([], 0.5)
-        with pytest.raises(ValueError):
             slo_violation_rate([0.1], 0.0)
+
+    def test_slo_violation_rate_empty_warns(self):
+        with pytest.warns(RuntimeWarning):
+            assert slo_violation_rate([], 0.5) == 0.0
 
     def test_size_reduction_and_speedup(self):
         assert size_reduction(622e6, 176e6) == pytest.approx(3.53, abs=0.01)
@@ -158,10 +160,15 @@ class TestClusterAggregates:
 
     def test_invalid_inputs(self):
         with pytest.raises(ValueError):
-            summarize_latencies([])
-        with pytest.raises(ValueError):
             summarize_latencies([-1.0])
         with pytest.raises(ValueError):
-            slo_attainment([], 1.0)
-        with pytest.raises(ValueError):
             slo_attainment([1.0], 0.0)
+
+    def test_empty_samples_warn_with_defined_results(self):
+        with pytest.warns(RuntimeWarning):
+            summary = summarize_latencies([])
+        assert summary.count == 0
+        assert summary.mean_s == 0.0
+        assert summary.p99_s == 0.0
+        with pytest.warns(RuntimeWarning):
+            assert slo_attainment([], 1.0) == 1.0

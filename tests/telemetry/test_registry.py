@@ -1,0 +1,99 @@
+"""Metrics primitives: labeled counters, gauges, histograms, the registry."""
+
+import pytest
+
+from repro.metrics.stats import percentiles
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_label_sets_accumulate_independently(self):
+        counter = Counter("bytes_moved")
+        counter.inc(100, link="node-0")
+        counter.inc(50, link="node-0")
+        counter.inc(7, link="node-1")
+        assert counter.value(link="node-0") == 150
+        assert counter.value(link="node-1") == 7
+        assert counter.value(link="node-9") == 0.0
+        assert counter.total() == 157
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("evictions")
+        with pytest.raises(ValueError, match="non-negative"):
+            counter.inc(-1)
+
+    def test_snapshot_renders_label_strings(self):
+        counter = Counter("requests")
+        counter.inc(3, path="kv")
+        counter.inc()
+        assert counter.snapshot() == {"": 1.0, "path=kv": 3.0}
+
+
+class TestGauge:
+    def test_tracks_last_min_max_and_samples(self):
+        gauge = Gauge("queue_depth")
+        for depth in (2, 5, 1):
+            gauge.set(depth, gpu="gpu")
+        assert gauge.value(gpu="gpu") == 1
+        assert gauge.max(gpu="gpu") == 5
+        entry = gauge.snapshot()["gpu=gpu"]
+        assert entry["min"] == 1 and entry["samples"] == 3
+
+    def test_unset_label_reads_zero(self):
+        gauge = Gauge("queue_depth")
+        assert gauge.value(gpu="other") == 0.0
+        assert gauge.max(gpu="other") == 0.0
+
+
+class TestHistogram:
+    def test_summary_uses_the_shared_percentile_helper(self):
+        histogram = Histogram("ttft_s", qs=(50.0, 99.0))
+        samples = [0.1, 0.5, 0.9, 0.2, 0.4]
+        for value in samples:
+            histogram.observe(value)
+        summary = histogram.summary()
+        p50, p99 = percentiles(samples, (50.0, 99.0))
+        assert summary["p50"] == p50
+        assert summary["p99"] == p99
+        assert summary["count"] == 5
+        assert summary["max"] == 0.9
+
+    def test_empty_summary_is_all_zero(self):
+        """Idle resources must snapshot cleanly, mirroring summarize_latencies."""
+        summary = Histogram("ttft_s").summary()
+        assert summary == {"count": 0, "mean": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_values_returns_a_copy(self):
+        histogram = Histogram("ttft_s")
+        histogram.observe(1.0)
+        histogram.values().append(2.0)
+        assert histogram.count() == 1
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_the_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("requests") is registry.counter("requests")
+        assert registry.get("requests") is not None
+        assert registry.get("missing") is None
+
+    def test_kind_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("requests")
+        with pytest.raises(TypeError, match="counter"):
+            registry.gauge("requests")
+
+    def test_snapshot_shape_is_json_serializable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("requests", help="served requests").inc(2, path="kv")
+        registry.gauge("depth").set(3, gpu="gpu")
+        registry.histogram("ttft_s").observe(0.25)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["requests"]["type"] == "counter"
+        assert snapshot["requests"]["help"] == "served requests"
+        assert snapshot["requests"]["values"] == {"path=kv": 2.0}
+        assert snapshot["ttft_s"]["values"][""]["count"] == 1
+        assert sorted(registry.names()) == ["depth", "requests", "ttft_s"]

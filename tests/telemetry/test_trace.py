@@ -1,0 +1,141 @@
+"""Tracer, Span and NullTracer semantics."""
+
+import pytest
+
+from repro.telemetry import (
+    COMPUTE,
+    DECODE,
+    NULL_TRACER,
+    QUEUEING,
+    TRANSFER,
+    NullTracer,
+    Tracer,
+    emit_breakdown_spans,
+)
+
+
+class TestSpan:
+    def test_durations_are_authoritative_not_derived(self):
+        tracer = Tracer()
+        span = tracer.span("transfer", track="link:a", start_s=1.0, dur_s=0.25)
+        assert span.dur_s == 0.25
+        assert span.end_s == 1.25
+
+    def test_end_clamps_to_non_negative(self):
+        tracer = Tracer()
+        span = tracer.span("x", track="t", start_s=2.0)
+        span.end(1.5)
+        assert span.dur_s == 0.0
+
+    def test_end_s_keyword_computes_duration(self):
+        tracer = Tracer()
+        span = tracer.span("x", track="t", start_s=1.0, end_s=3.5)
+        assert span.dur_s == 2.5
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Tracer().span("x", track="t", start_s=0.0, dur_s=-1.0)
+
+    def test_children_nest_and_inherit_request_id(self):
+        tracer = Tracer()
+        root = tracer.span("request", track="request:0", start_s=0.0, request_id=0)
+        child = tracer.span("wait", track="request:0", start_s=0.0, parent=root)
+        assert child in root.children
+        assert child.request_id == 0
+        assert [s.name for s in root.walk()] == ["request", "wait"]
+
+    def test_annotate_merges_args(self):
+        tracer = Tracer()
+        span = tracer.span("x", track="t", start_s=0.0, bytes=10)
+        span.annotate(tier="disk")
+        assert span.args == {"bytes": 10, "tier": "disk"}
+
+
+class TestTracer:
+    def test_soft_clock_never_moves_backward(self):
+        tracer = Tracer()
+        tracer.advance_to(2.0)
+        tracer.advance_to(1.0)
+        assert tracer.now == 2.0
+        assert tracer.instant("evt", track="t").at_s == 2.0
+        assert tracer.span("s", track="t").start_s == 2.0
+
+    def test_request_ids_are_run_unique(self):
+        tracer = Tracer()
+        assert [tracer.new_request_id() for _ in range(3)] == [0, 1, 2]
+
+    def test_tracks_keep_first_use_order(self):
+        tracer = Tracer()
+        tracer.span("a", track="gpu", start_s=0.0)
+        tracer.sample("depth", 1, track="link:x", at_s=0.0)
+        tracer.instant("down", track="cluster", at_s=0.0)
+        tracer.span("b", track="gpu", start_s=1.0)
+        assert tracer.tracks == ["gpu", "link:x", "cluster"]
+
+    def test_queries_filter_by_track_request_and_name(self):
+        tracer = Tracer()
+        root = tracer.span("request", track="request:7", start_s=0.0, request_id=7)
+        tracer.span("gpu wait", track="request:7", start_s=0.0, category=QUEUEING, parent=root)
+        tracer.span("batch decode", track="gpu", start_s=0.0, category="decode")
+        assert len(tracer.spans_on("request:7")) == 2
+        assert len(tracer.spans_for_request(7)) == 2
+        assert tracer.root_spans() == [root, tracer.spans_on("gpu")[0]]
+        assert tracer.find_spans(name="gpu wait")[0].category == QUEUEING
+        assert tracer.find_spans(category="decode")[0].name == "batch decode"
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        span = tracer.span("x", track="t", start_s=0.0, dur_s=1.0)
+        span.end(5.0).annotate(a=1)
+        tracer.instant("evt", track="t")
+        tracer.sample("depth", 3, track="t")
+        tracer.advance_to(10.0)
+        assert tracer.spans == [] and tracer.instants == [] and tracer.samples == []
+        assert tracer.tracks == []
+        assert tracer.now == 0.0
+        assert list(span.walk()) == []
+
+    def test_metrics_discard_updates(self):
+        metrics = NULL_TRACER.metrics
+        counter = metrics.counter("requests")
+        counter.inc(5, path="kv")
+        assert counter.value(path="kv") == 0.0
+        metrics.gauge("depth").set(3)
+        metrics.histogram("ttft_s").observe(1.0)
+        assert metrics.snapshot() == {}
+
+    def test_span_handle_is_shared(self):
+        assert NULL_TRACER.span("a", track="t") is NULL_TRACER.span("b", track="t")
+
+
+class TestEmitBreakdownSpans:
+    def test_components_lie_back_to_back_from_arrival(self):
+        from repro.metrics.system import QueueingTTFTBreakdown
+
+        tracer = Tracer()
+        ttft = QueueingTTFTBreakdown(
+            network_s=0.2, decode_s=0.05, compute_s=0.1, queueing_s=0.3
+        )
+        root = emit_breakdown_spans(tracer, label="doc", arrival_s=1.0, ttft=ttft)
+        assert root.start_s == 1.0
+        assert root.dur_s == ttft.total_s
+        assert root.args["context_id"] == "doc"
+        categories = [child.category for child in root.children]
+        assert categories == [QUEUEING, TRANSFER, DECODE, COMPUTE]
+        cursor = 1.0
+        for child in root.children:
+            assert child.start_s == cursor
+            cursor = child.end_s
+        assert cursor == pytest.approx(1.0 + ttft.total_s)
+
+    def test_zero_components_are_skipped(self):
+        from repro.metrics.system import TTFTBreakdown
+
+        tracer = Tracer()
+        ttft = TTFTBreakdown(network_s=0.2, decode_s=0.0, compute_s=0.1)
+        root = emit_breakdown_spans(tracer, label="doc", arrival_s=0.0, ttft=ttft)
+        # No queueing_s attribute and a zero decode: only transfer + compute.
+        assert [child.category for child in root.children] == [TRANSFER, COMPUTE]
