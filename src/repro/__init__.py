@@ -18,6 +18,10 @@ Public entry points
 * :class:`repro.Tracer` / :func:`repro.write_chrome_trace` — full-run
   telemetry: per-request spans, resource timelines, a metrics registry, and
   Perfetto-loadable trace export (``serve(..., tracer=Tracer())``).
+* :class:`repro.SLOObjective` / :func:`repro.write_dashboard` — operational
+  observability: windowed time-series on every ``RunReport``
+  (``report.timeseries``), burn-rate SLO alerting (``report.alerts``), and a
+  self-contained HTML run dashboard.
 * :mod:`repro.baselines` — every method the paper compares against.
 * :mod:`repro.experiments` — one module per table/figure of the evaluation.
 * :mod:`repro.cluster` — sharded, replicated, capacity-bounded KV-cache
@@ -43,11 +47,22 @@ from .serving import (
     serve,
 )
 from .streaming import KVStreamer, SLOAwareAdapter, prepare_chunks
-from .telemetry import Tracer, write_chrome_trace, write_jsonl
+from .telemetry import (
+    AlertEngine,
+    SLOObjective,
+    TimeSeriesRecorder,
+    Tracer,
+    render_dashboard,
+    render_diff_dashboard,
+    write_chrome_trace,
+    write_dashboard,
+    write_jsonl,
+)
 
 __version__ = "1.1.0"
 
 __all__ = [
+    "AlertEngine",
     "CacheGenConfig",
     "CacheGenDecoder",
     "CacheGenEncoder",
@@ -66,11 +81,13 @@ __all__ = [
     "RandomTrace",
     "RunReport",
     "SLOAwareAdapter",
+    "SLOObjective",
     "ServeRequest",
     "ServeResponse",
     "ServingSpec",
     "StepTrace",
     "SyntheticLLM",
+    "TimeSeriesRecorder",
     "Tracer",
     "WorkloadGenerator",
     "__version__",
@@ -78,7 +95,10 @@ __all__ = [
     "gbps",
     "get_model_config",
     "prepare_chunks",
+    "render_dashboard",
+    "render_diff_dashboard",
     "serve",
     "write_chrome_trace",
+    "write_dashboard",
     "write_jsonl",
 ]

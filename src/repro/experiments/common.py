@@ -259,10 +259,15 @@ def experiment_cli(argv: Sequence[str] | None = None) -> str:
     instead of printing so the library stays print-free (the ``__main__``
     shim does the printing).  ``--trace-out`` / ``--trace-jsonl`` record the
     run's telemetry (experiments that accept a ``tracer``) and export it as a
-    Perfetto-loadable Chrome trace / a structured JSONL event log.
+    Perfetto-loadable Chrome trace / a structured JSONL event log;
+    ``--metrics-out`` writes the run's metrics-registry snapshot as JSON;
+    ``--dashboard-out`` renders the windowed run dashboard (window width from
+    ``--window-s``, an optional TTFT SLO from ``--slo-ttft-s`` /
+    ``--slo-target`` driving the burn-rate alerts).
     """
     import argparse
     import inspect
+    import json
 
     from . import ALL_EXPERIMENTS
 
@@ -283,11 +288,50 @@ def experiment_cli(argv: Sequence[str] | None = None) -> str:
         metavar="PATH",
         help="write the run's structured JSONL event log",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics-registry snapshot as JSON",
+    )
+    parser.add_argument(
+        "--dashboard-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's self-contained HTML dashboard",
+    )
+    parser.add_argument(
+        "--window-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="dashboard window width (default: auto, ~60 windows over the run)",
+    )
+    parser.add_argument(
+        "--slo-ttft-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="TTFT SLO threshold driving the dashboard's burn-rate alerts",
+    )
+    parser.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.99,
+        metavar="FRACTION",
+        help="fraction of requests that must meet --slo-ttft-s (default 0.99)",
+    )
     args = parser.parse_args(argv)
     run = ALL_EXPERIMENTS[args.experiment]
 
     tracer = None
-    if args.trace_out is not None or args.trace_jsonl is not None:
+    wants_telemetry = (
+        args.trace_out is not None
+        or args.trace_jsonl is not None
+        or args.metrics_out is not None
+        or args.dashboard_out is not None
+    )
+    if wants_telemetry:
         if "tracer" not in inspect.signature(run).parameters:
             parser.error(
                 f"{args.experiment} does not support tracing; traceable "
@@ -313,4 +357,33 @@ def experiment_cli(argv: Sequence[str] | None = None) -> str:
             lines.append(f"wrote Chrome trace to {write_chrome_trace(tracer, args.trace_out)}")
         if args.trace_jsonl is not None:
             lines.append(f"wrote event log to {write_jsonl(tracer, args.trace_jsonl)}")
+        if args.metrics_out is not None:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(tracer.metrics.snapshot(), handle, indent=2, sort_keys=True)
+            lines.append(f"wrote metrics snapshot to {args.metrics_out}")
+        if args.dashboard_out is not None:
+            from ..telemetry import (
+                AlertEngine,
+                SLOObjective,
+                TimeSeriesRecorder,
+                auto_window_s,
+                write_dashboard,
+            )
+
+            window_s = args.window_s or auto_window_s(getattr(tracer, "now", 0.0))
+            recorder = TimeSeriesRecorder.from_tracer(tracer, window_s=window_s)
+            objectives = (
+                [SLOObjective("ttft", args.slo_ttft_s, target=args.slo_target)]
+                if args.slo_ttft_s is not None
+                else []
+            )
+            alerts = AlertEngine(objectives).evaluate(recorder.windows())
+            path = write_dashboard(
+                args.dashboard_out,
+                recorder,
+                alerts=alerts,
+                objectives=objectives,
+                title=f"{args.experiment} dashboard",
+            )
+            lines.append(f"wrote dashboard to {path}")
     return "\n".join(lines)

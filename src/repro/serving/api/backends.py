@@ -22,6 +22,8 @@ from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 from ...metrics.cluster import NodeSummary, TierState, tier_state
 from ...network.bandwidth import ConstantTrace, gbps
 from ...network.link import NetworkLink
+from ...telemetry.slo import AlertEngine, SLOObjective
+from ...telemetry.timeseries import TimeSeriesRecorder, auto_window_s
 from ...telemetry.trace import Tracer, emit_breakdown_spans
 from .._compat import api_construction
 from ..engine import ContextLoadingEngine
@@ -173,11 +175,15 @@ class _EngineBackend:
         tier_before: TierState | None = None,
         mean_context_tokens: int = 0,
         min_duration_s: float = 0.0,
+        shed_times: Sequence[float] = (),
+        window_s: float | None = None,
+        objectives: Sequence[SLOObjective] = (),
+        alert_rules=None,
     ) -> RunReport:
         """Unified report; ``*_before`` snapshots make the counters per-run."""
         tier_now = self.tier_counters()
         before = tier_before or TierState(0, 0, 0.0, 0.0)
-        return RunReport.from_responses(
+        report = RunReport.from_responses(
             responses,
             spec=self.spec,
             slo_s=slo_s if slo_s is not None else self.spec.slo_s,
@@ -197,6 +203,19 @@ class _EngineBackend:
             mean_context_tokens=mean_context_tokens,
             min_duration_s=min_duration_s,
         )
+        if responses or shed_times:
+            recorder = TimeSeriesRecorder.from_run(
+                responses,
+                window_s=window_s or auto_window_s(report.duration_s),
+                shed_times=shed_times,
+                tracer=self._active_tracer(),
+                duration_s=report.duration_s,
+            )
+            report.timeseries = recorder
+            report.alerts = AlertEngine(objectives, rules=alert_rules).evaluate(
+                recorder.windows()
+            )
+        return report
 
 
 class SingleNodeBackend(_EngineBackend):

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Protocol, Sequence
 
 from ...storage.kv_store import CapacityError
+from ...telemetry.slo import SLOObjective
 from ...telemetry.trace import Tracer
 from .backends import Backend, ClusterBackend, build_backend
 from .spec import ServingSpec
@@ -160,6 +161,13 @@ class Driver:
         driver adds ingest/encode spans and shed instants, and the finished
         :class:`RunReport` carries it as ``report.telemetry``.  ``None`` (the
         default) keeps the untraced fast path.
+    window_s:
+        Tumbling-window width of ``report.timeseries``; ``None`` (default)
+        picks a 1/2/5-stepped width giving roughly 60 windows over the run.
+    slos:
+        Declarative :class:`~repro.telemetry.slo.SLOObjective` list; the
+        report's burn-rate :class:`~repro.telemetry.slo.Alert` objects land in
+        ``report.alerts`` (structural detectors run either way).
 
     Notes
     -----
@@ -181,6 +189,9 @@ class Driver:
         node_recoveries: Mapping[int, str] | None = None,
         max_batch: int | None = None,
         tracer: Tracer | None = None,
+        window_s: float | None = None,
+        slos: Sequence[SLOObjective] = (),
+        alert_rules=None,
     ) -> None:
         if isinstance(backend, ServingSpec):
             backend = build_backend(backend)
@@ -196,6 +207,9 @@ class Driver:
         self.node_failures = dict(node_failures or {})
         self.node_recoveries = dict(node_recoveries or {})
         self.max_batch = max_batch
+        self.window_s = window_s
+        self.slos = tuple(slos)
+        self.alert_rules = alert_rules
         if (self.node_failures or self.node_recoveries) and not isinstance(
             backend, ClusterBackend
         ):
@@ -256,6 +270,7 @@ class Driver:
         failed_ingests = 0
         replication_bytes = 0.0
         shed = 0
+        shed_times: list[float] = []
         hard_failures = 0
         responses = []
         pending: list[ServeRequest] = []
@@ -307,6 +322,7 @@ class Driver:
                         )
             if not self.admission.admit(request):
                 shed += 1
+                shed_times.append(request.arrival_s)
                 if tracer is not None:
                     tracer.instant(
                         "shed",
@@ -386,6 +402,10 @@ class Driver:
             # Shed/failed arrivals are part of the offered process even though
             # no response records their times.
             min_duration_s=max((r.arrival_s for r in requests), default=0.0),
+            shed_times=shed_times,
+            window_s=self.window_s,
+            objectives=self.slos,
+            alert_rules=self.alert_rules,
         )
         if self.tracer is not None:
             report.telemetry = self.tracer

@@ -172,6 +172,11 @@ class RunReport:
     #: The :class:`~repro.telemetry.trace.Tracer` of a traced run (``None``
     #: on untraced runs); export it with ``repro.telemetry.write_chrome_trace``.
     telemetry: object | None = None
+    #: Windowed view of the run (a :class:`~repro.telemetry.timeseries.
+    #: TimeSeriesRecorder`); ``None`` when the backend was driven without one.
+    timeseries: object | None = None
+    #: Fired :class:`~repro.telemetry.slo.Alert` objects, ordered by fire time.
+    alerts: list = field(default_factory=list)
 
     # ------------------------------------------------------------------ ratios
     @property
@@ -343,6 +348,24 @@ class RunReport:
                 f"SLO               {self.slo_attainment * 100.0:.1f}% "
                 f"within {self.slo_s:.2f}s"
             )
+        if self.timeseries is not None:
+            windows = self.timeseries.windows()
+            if windows:
+                lines.append(
+                    f"timeseries        {len(windows)} windows of "
+                    f"{windows[0].width_s:g}s"
+                )
+        if self.alerts:
+            for alert in self.alerts:
+                resolved = (
+                    f"resolved {alert.resolved_at_s:.2f}s"
+                    if alert.resolved_at_s is not None
+                    else "still active"
+                )
+                lines.append(
+                    f"alert             [{alert.severity}] {alert.name} "
+                    f"fired {alert.fired_at_s:.2f}s, {resolved}"
+                )
         for node in self.node_summaries:
             state = "up" if node.up else "DOWN"
             lines.append(

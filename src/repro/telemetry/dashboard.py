@@ -1,0 +1,770 @@
+"""Self-contained HTML dashboard for a windowed run series.
+
+:func:`render_dashboard` turns a :class:`~repro.telemetry.timeseries.
+TimeSeriesRecorder` (or a plain window list) plus the
+:class:`~repro.telemetry.slo.Alert` list into one dependency-free HTML page:
+every chart is inline SVG, every style an inline ``<style>`` block — no
+scripts, no fonts, no external ``src=``/``href=`` references, so the file can
+be attached to a CI run or mailed around and still render.  Panels:
+
+* headline stat tiles (requests, shed, hit ratio, TTFT p50/p99, alerts);
+* traffic — offered arrival rate with the shed band;
+* TTFT percentile ribbons (p50/p90/p99 on an ordinal blue ramp) with the SLO
+  threshold as a reference line;
+* per-resource utilization lanes (small multiples);
+* tier hit-ratio stack (hot / cold / miss fractions per window);
+* alert timeline — one row per fired alert with explicit fire/resolve span.
+
+Hovering any window column shows that window's numbers via native SVG
+``<title>`` tooltips, and a full per-window data table rides along in a
+``<details>`` block so nothing is gated behind color or hover.  Machine
+readers get ``data-*`` attributes (per-window ``data-ttft-p99-ms``, per-alert
+``data-fired-at-s``/``data-resolved-at-s``) so tests can assert on content
+without parsing SVG geometry.
+
+:func:`render_diff_dashboard` overlays two runs (traffic, TTFT p99, hit
+ratio) and tabulates the totals side by side for before/after comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from html import escape
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..metrics.stats import percentiles
+from .slo import Alert, SLOObjective
+from .timeseries import TimeSeriesRecorder, WindowStats
+
+__all__ = ["render_dashboard", "render_diff_dashboard", "write_dashboard"]
+
+# ----------------------------------------------------------------- geometry
+_W = 880  # panel width
+_ML, _MR, _MT, _MB = 56, 14, 10, 24  # plot margins
+_RIBBON_QS = (50.0, 90.0, 99.0)
+
+# The palette (reference instance of the dataviz method): categorical slots
+# 1-3, an ordinal blue ramp for the percentile ribbons, fixed status colors,
+# and ink/chrome tokens — light values here, dark steps in the stylesheet.
+_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+.dash {
+  --page: #f9f9f7; --surface: #fcfcfb; --ink: #0b0b0b; --ink2: #52514e;
+  --muted: #898781; --grid: #e1e0d9; --axis: #c3c2b7;
+  --ring: rgba(11, 11, 11, 0.10);
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a;
+  --ramp-lo: #86b6ef; --ramp-mid: #2a78d6; --ramp-hi: #104281;
+  --status-warn: #fab219; --status-crit: #d03b3b; --status-good: #0ca30c;
+  max-width: 960px; margin: 0 auto;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .dash {
+    --page: #0d0d0d; --surface: #1a1a19; --ink: #ffffff; --ink2: #c3c2b7;
+    --muted: #898781; --grid: #2c2c2a; --axis: #383835;
+    --ring: rgba(255, 255, 255, 0.10);
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70;
+    --ramp-lo: #86b6ef; --ramp-mid: #3987e5; --ramp-hi: #184f95;
+  }
+}
+:root[data-theme="dark"] .dash {
+  --page: #0d0d0d; --surface: #1a1a19; --ink: #ffffff; --ink2: #c3c2b7;
+  --muted: #898781; --grid: #2c2c2a; --axis: #383835;
+  --ring: rgba(255, 255, 255, 0.10);
+  --s1: #3987e5; --s2: #d95926; --s3: #199e70;
+  --ramp-lo: #86b6ef; --ramp-mid: #3987e5; --ramp-hi: #184f95;
+}
+h1 { font-size: 20px; margin: 0 0 2px; }
+.subtitle { color: var(--ink2); margin: 0 0 18px; }
+.panel {
+  background: var(--surface); border: 1px solid var(--ring);
+  border-radius: 8px; padding: 14px 16px 10px; margin: 0 0 16px;
+}
+.panel h2 { font-size: 14px; font-weight: 600; margin: 0 0 2px; }
+.panel .note { color: var(--muted); font-size: 12px; margin: 0 0 6px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 16px; margin: 0 0 16px; }
+.tile {
+  background: var(--surface); border: 1px solid var(--ring);
+  border-radius: 8px; padding: 10px 16px; min-width: 96px;
+}
+.tile .label { color: var(--ink2); font-size: 12px; }
+.tile .value { font-size: 26px; font-weight: 600; }
+.legend { display: flex; flex-wrap: wrap; gap: 14px; margin: 4px 0 6px;
+  color: var(--ink2); font-size: 12px; align-items: center; }
+.legend .key { display: inline-flex; align-items: center; gap: 6px; }
+.swatch { width: 12px; height: 12px; border-radius: 3px; display: inline-block; }
+.swatch.line { height: 3px; border-radius: 2px; }
+svg { display: block; }
+svg text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif;
+  fill: var(--muted); }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .axis { stroke: var(--axis); stroke-width: 1; }
+.hov { fill: transparent; }
+.hov:hover { fill: var(--ring); }
+details { margin: 4px 0 12px; }
+summary { cursor: pointer; color: var(--ink2); font-size: 13px; }
+table { border-collapse: collapse; font-size: 12px; margin-top: 8px;
+  font-variant-numeric: tabular-nums; }
+th, td { padding: 3px 10px; text-align: right; border-bottom: 1px solid var(--grid); }
+th { color: var(--ink2); font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+.alert-row { font-size: 13px; }
+.alert-row .sev { font-weight: 600; }
+.footer { color: var(--muted); font-size: 12px; margin-top: 8px; }
+"""
+
+
+# ------------------------------------------------------------------ helpers
+def _as_windows(source: Any) -> list[WindowStats]:
+    if isinstance(source, TimeSeriesRecorder):
+        return source.windows()
+    return list(source)
+
+
+def _series_totals(windows: Sequence[WindowStats]) -> dict[str, Any]:
+    ttfts: list[float] = []
+    for window in windows:
+        ttfts.extend(window.ttft_samples)
+    served = sum(w.served for w in windows)
+    shed = sum(w.shed for w in windows)
+    kv = sum(w.kv_served for w in windows)
+    p50, p99 = percentiles(ttfts, (50.0, 99.0))
+    return {
+        "num_requests": served + shed,
+        "served": served,
+        "shed": shed,
+        "kv_served": kv,
+        "hit_ratio": kv / served if served else 0.0,
+        "ttft_p50_s": p50,
+        "ttft_p99_s": p99,
+    }
+
+
+def _fmt_n(value: float) -> str:
+    """Compact count: 1,284 / 12.9K / 4.2M."""
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.1f}M"
+    if value >= 10_000:
+        return f"{value / 1_000:.1f}K"
+    return f"{value:,.0f}"
+
+
+def _fmt_s(seconds: float) -> str:
+    """Compact duration: 340ms below one second, 1.24s above."""
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 10.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds:.1f}s"
+
+
+def _nice_max(value: float) -> float:
+    """A clean axis maximum (1/2/5 stepped) at or above ``value``."""
+    if value <= 0:
+        return 1.0
+    exponent = math.floor(math.log10(value))
+    base = value / 10**exponent
+    for nice in (1.0, 2.0, 2.5, 5.0, 10.0):
+        if base <= nice:
+            return nice * 10**exponent
+    return 10.0 * 10**exponent  # pragma: no cover - base is always <= 10
+
+
+class _Plot:
+    """Shared scales + chrome of one SVG panel."""
+
+    def __init__(
+        self,
+        duration_s: float,
+        y_max: float,
+        height: int,
+        *,
+        y_fmt=None,
+    ) -> None:
+        self.duration_s = max(duration_s, 1e-9)
+        self.y_max = y_max if y_max > 0 else 1.0
+        self.height = height
+        self.y_fmt = y_fmt or (lambda v: f"{v:g}")
+        self.parts: list[str] = []
+
+    def x(self, t: float) -> float:
+        return _ML + (t / self.duration_s) * (_W - _ML - _MR)
+
+    def y(self, v: float) -> float:
+        frac = min(max(v / self.y_max, 0.0), 1.0)
+        return _MT + (1.0 - frac) * (self.height - _MT - _MB)
+
+    def add(self, fragment: str) -> None:
+        self.parts.append(fragment)
+
+    def chrome(self, *, y_ticks: int = 4) -> None:
+        """Hairline gridlines, axis baseline, tick labels."""
+        y0 = self.y(0.0)
+        for i in range(1, y_ticks + 1):
+            value = self.y_max * i / y_ticks
+            yy = self.y(value)
+            self.add(
+                f'<line class="grid" x1="{_ML}" y1="{yy:.1f}"'
+                f' x2="{_W - _MR}" y2="{yy:.1f}"/>'
+            )
+            self.add(
+                f'<text x="{_ML - 6}" y="{yy + 3.5:.1f}" text-anchor="end">'
+                f"{escape(self.y_fmt(value))}</text>"
+            )
+        self.add(
+            f'<line class="axis" x1="{_ML}" y1="{y0:.1f}"'
+            f' x2="{_W - _MR}" y2="{y0:.1f}"/>'
+        )
+        step = _nice_max(self.duration_s / 6.0)
+        t = step
+        while t <= self.duration_s * 1.0001:
+            self.add(
+                f'<text x="{self.x(t):.1f}" y="{self.height - 8}"'
+                f' text-anchor="middle">{t:g}s</text>'
+            )
+            t += step
+
+    def line(self, points: Sequence[tuple[float, float]], css_var: str) -> None:
+        if not points:
+            return
+        path = " ".join(f"{self.x(t):.1f},{self.y(v):.1f}" for t, v in points)
+        self.add(
+            f'<polyline points="{path}" fill="none"'
+            f' style="stroke:var({css_var});stroke-width:2;'
+            f'stroke-linejoin:round;stroke-linecap:round"/>'
+        )
+
+    def area(
+        self,
+        points: Sequence[tuple[float, float]],
+        css_var: str,
+        *,
+        opacity: float = 0.1,
+        base: Sequence[tuple[float, float]] | None = None,
+    ) -> None:
+        """A wash under a line (or between two lines when ``base`` is given)."""
+        if not points:
+            return
+        top = " ".join(f"L{self.x(t):.1f},{self.y(v):.1f}" for t, v in points)
+        if base is None:
+            y0 = self.y(0.0)
+            start = f"M{self.x(points[0][0]):.1f},{y0:.1f}"
+            close = f"L{self.x(points[-1][0]):.1f},{y0:.1f}Z"
+        else:
+            back = " ".join(
+                f"L{self.x(t):.1f},{self.y(v):.1f}" for t, v in reversed(base)
+            )
+            start = f"M{self.x(base[0][0]):.1f},{self.y(base[0][1]):.1f}"
+            close = back + "Z"
+        self.add(
+            f'<path d="{start} {top} {close}"'
+            f' style="fill:var({css_var});opacity:{opacity};stroke:none"/>'
+        )
+
+    def ref_line(self, value: float, css_var: str, label: str) -> None:
+        """A horizontal reference line (e.g. the SLO threshold)."""
+        yy = self.y(value)
+        self.add(
+            f'<line x1="{_ML}" y1="{yy:.1f}" x2="{_W - _MR}" y2="{yy:.1f}"'
+            f' style="stroke:var({css_var});stroke-width:1"/>'
+        )
+        self.add(
+            f'<text x="{_W - _MR}" y="{yy - 4:.1f}" text-anchor="end">'
+            f"{escape(label)}</text>"
+        )
+
+    def hover_columns(
+        self, windows: Sequence[WindowStats], titles: Sequence[str]
+    ) -> None:
+        """Transparent per-window rects carrying native tooltip titles."""
+        for window, title in zip(windows, titles):
+            x0, x1 = self.x(window.start_s), self.x(window.end_s)
+            self.add(
+                f'<rect class="hov" x="{x0:.1f}" y="{_MT}"'
+                f' width="{x1 - x0:.1f}" height="{self.height - _MT - _MB}"'
+                f' data-window="{window.index}"'
+                f' data-ttft-p99-ms="{window.ttft_percentile(99.0) * 1000:.1f}"'
+                f' data-shed="{window.shed}" data-hit-ratio="{window.hit_ratio:.3f}">'
+                f"<title>{escape(title)}</title></rect>"
+            )
+
+    def svg(self) -> str:
+        body = "".join(self.parts)
+        return (
+            f'<svg viewBox="0 0 {_W} {self.height}" width="100%"'
+            f' role="img">{body}</svg>'
+        )
+
+
+def _window_title(window: WindowStats) -> str:
+    lines = [
+        f"window {window.index}: {window.start_s:g}-{window.end_s:g}s",
+        f"arrivals {window.arrivals} ({window.arrival_rate_rps:.2f}/s),"
+        f" served {window.served}, shed {window.shed}",
+        f"hit {window.hit_ratio:.0%} (hot {window.hot_served},"
+        f" cold {window.cold_served}, miss {window.text_served})",
+    ]
+    if window.ttft_samples:
+        lines.append(
+            "TTFT p50 "
+            + _fmt_s(window.ttft_percentile(50.0))
+            + " / p90 "
+            + _fmt_s(window.ttft_percentile(90.0))
+            + " / p99 "
+            + _fmt_s(window.ttft_percentile(99.0))
+        )
+    return "\n".join(lines)
+
+
+def _legend(*keys: tuple[str, str, str]) -> str:
+    """``(css_var, shape, label)`` keys → one legend row."""
+    parts = ['<div class="legend">']
+    for css_var, shape, label in keys:
+        cls = "swatch line" if shape == "line" else "swatch"
+        parts.append(
+            f'<span class="key"><span class="{cls}"'
+            f' style="background:var({css_var})"></span>{escape(label)}</span>'
+        )
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def _panel(title: str, note: str, *body: str) -> str:
+    note_html = f'<p class="note">{escape(note)}</p>' if note else ""
+    return (
+        f'<section class="panel"><h2>{escape(title)}</h2>{note_html}'
+        + "".join(body)
+        + "</section>"
+    )
+
+
+def _centers(windows: Sequence[WindowStats]) -> list[float]:
+    return [(w.start_s + w.end_s) / 2.0 for w in windows]
+
+
+# ------------------------------------------------------------------- panels
+def _traffic_panel(windows: Sequence[WindowStats], duration_s: float) -> str:
+    xs = _centers(windows)
+    offered = [w.arrival_rate_rps for w in windows]
+    shed = [w.shed / w.width_s if w.width_s > 0 else 0.0 for w in windows]
+    plot = _Plot(duration_s, _nice_max(max(offered, default=0.0)), 190)
+    plot.chrome()
+    plot.area(list(zip(xs, shed)), "--s2", opacity=0.25)
+    plot.line(list(zip(xs, shed)), "--s2")
+    plot.area(list(zip(xs, offered)), "--s1")
+    plot.line(list(zip(xs, offered)), "--s1")
+    plot.hover_columns(windows, [_window_title(w) for w in windows])
+    return _panel(
+        "Traffic",
+        "offered arrival rate per window; the shed band is the refused share",
+        _legend(("--s1", "line", "offered req/s"), ("--s2", "line", "shed req/s")),
+        plot.svg(),
+    )
+
+
+def _ttft_panel(
+    windows: Sequence[WindowStats],
+    duration_s: float,
+    objectives: Sequence[SLOObjective],
+) -> str:
+    xs = _centers(windows)
+    series = {
+        q: [w.ttft_percentile(q) if w.ttft_samples else 0.0 for w in windows]
+        for q in _RIBBON_QS
+    }
+    peak = max((max(vals, default=0.0) for vals in series.values()), default=0.0)
+    for objective in objectives:
+        peak = max(peak, objective.ttft_s * 1.15)
+    plot = _Plot(duration_s, _nice_max(peak), 210, y_fmt=_fmt_s)
+    plot.chrome()
+    plot.area(
+        list(zip(xs, series[99.0])),
+        "--ramp-mid",
+        base=list(zip(xs, series[50.0])),
+    )
+    for q, css_var in zip(_RIBBON_QS, ("--ramp-lo", "--ramp-mid", "--ramp-hi")):
+        plot.line(list(zip(xs, series[q])), css_var)
+    for objective in objectives:
+        plot.ref_line(
+            objective.ttft_s,
+            "--status-crit",
+            f"SLO {objective.name}: {_fmt_s(objective.ttft_s)}",
+        )
+    plot.hover_columns(windows, [_window_title(w) for w in windows])
+    keys = [
+        ("--ramp-lo", "line", "TTFT p50"),
+        ("--ramp-mid", "line", "TTFT p90"),
+        ("--ramp-hi", "line", "TTFT p99"),
+    ]
+    if objectives:
+        keys.append(("--status-crit", "line", "SLO threshold"))
+    return _panel(
+        "TTFT percentiles",
+        "per-window time to first token; the ribbon spans p50 to p99",
+        _legend(*keys),
+        plot.svg(),
+    )
+
+
+def _utilization_panel(
+    windows: Sequence[WindowStats], duration_s: float, tracks: Sequence[str]
+) -> str:
+    if not tracks:
+        return ""
+    shown = list(tracks)[:8]
+    lanes: list[str] = []
+    xs = _centers(windows)
+    for track in shown:
+        utils = [w.utilization(track) for w in windows]
+        peak = max(utils, default=0.0)
+        plot = _Plot(duration_s, 1.0, 64, y_fmt=lambda v: f"{v:.0%}")
+        plot.chrome(y_ticks=1)
+        plot.area(list(zip(xs, utils)), "--s3")
+        plot.line(list(zip(xs, utils)), "--s3")
+        plot.hover_columns(
+            windows,
+            [
+                f"{track}: {w.utilization(track):.0%} busy,"
+                f" peak queue {w.max_queue_depth.get(track, 0):g}"
+                for w in windows
+            ],
+        )
+        lanes.append(
+            f'<p class="note">{escape(track)} &middot; peak {peak:.0%}</p>'
+            + plot.svg()
+        )
+    note = "busy fraction per window, one lane per resource"
+    if len(tracks) > len(shown):
+        note += f" (showing {len(shown)} of {len(tracks)} tracks)"
+    return _panel("Utilization", note, *lanes)
+
+
+def _tier_panel(windows: Sequence[WindowStats], duration_s: float) -> str:
+    plot = _Plot(duration_s, 1.0, 190, y_fmt=lambda v: f"{v:.0%}")
+    plot.chrome(y_ticks=2)
+    y0, y1 = plot.y(0.0), plot.y(1.0)
+    span = y0 - y1
+    for window in windows:
+        if not window.served:
+            continue
+        x0, x1 = plot.x(window.start_s), plot.x(window.end_s)
+        width = min(x1 - x0 - 2.0, 24.0)
+        x = (x0 + x1 - width) / 2.0
+        fractions = (
+            (window.hot_served / window.served, "--s1"),
+            (window.cold_served / window.served, "--s2"),
+            (window.text_served / window.served, "--muted"),
+        )
+        # Unified backends report only kv vs text: fold plain kv into "hot".
+        untracked = (
+            window.kv_served - window.hot_served - window.cold_served
+        ) / window.served
+        if untracked > 0:
+            fractions = (
+                (fractions[0][0] + untracked, "--s1"),
+                fractions[1],
+                fractions[2],
+            )
+        base = y0
+        for fraction, css_var in fractions:
+            height = fraction * span
+            if height <= 0:
+                continue
+            gap = 1.0 if height > 2.0 else 0.0
+            plot.add(
+                f'<rect x="{x:.1f}" y="{base - height + gap:.1f}"'
+                f' width="{width:.1f}" height="{max(height - 2 * gap, 0.5):.1f}"'
+                f' style="fill:var({css_var})"/>'
+            )
+            base -= height
+    plot.hover_columns(windows, [_window_title(w) for w in windows])
+    return _panel(
+        "Tier hit ratio",
+        "where served requests got their KV cache from, per window",
+        _legend(
+            ("--s1", "box", "hot (memory)"),
+            ("--s2", "box", "cold (disk)"),
+            ("--muted", "box", "miss (text re-prefill)"),
+        ),
+        plot.svg(),
+    )
+
+
+_SEVERITY_ICON = {"page": "✖", "ticket": "▲"}
+_SEVERITY_VAR = {"page": "--status-crit", "ticket": "--status-warn"}
+
+
+def _alert_panel(alerts: Sequence[Alert], duration_s: float) -> str:
+    if not alerts:
+        return _panel(
+            "Alerts",
+            "",
+            '<p class="alert-row" data-alert-count="0">'
+            "✓ No alerts fired during the run.</p>",
+        )
+    row_h = 30
+    height = _MT + row_h * len(alerts) + _MB
+    plot = _Plot(duration_s, 1.0, height)
+    step = _nice_max(plot.duration_s / 6.0)
+    t = step
+    while t <= plot.duration_s * 1.0001:
+        plot.add(
+            f'<line class="grid" x1="{plot.x(t):.1f}" y1="{_MT}"'
+            f' x2="{plot.x(t):.1f}" y2="{height - _MB}"/>'
+        )
+        plot.add(
+            f'<text x="{plot.x(t):.1f}" y="{height - 8}" text-anchor="middle">'
+            f"{t:g}s</text>"
+        )
+        t += step
+    rows: list[str] = []
+    for i, alert in enumerate(alerts):
+        y = _MT + row_h * i + row_h / 2.0
+        css_var = _SEVERITY_VAR.get(alert.severity, "--status-warn")
+        icon = _SEVERITY_ICON.get(alert.severity, "●")
+        x0 = plot.x(alert.fired_at_s)
+        x1 = plot.x(
+            alert.resolved_at_s if alert.resolved_at_s is not None else duration_s
+        )
+        resolved = (
+            f"{alert.resolved_at_s:g}" if alert.resolved_at_s is not None else ""
+        )
+        plot.add(
+            f'<g data-alert-name="{escape(alert.name, quote=True)}"'
+            f' data-severity="{escape(alert.severity, quote=True)}"'
+            f' data-fired-at-s="{alert.fired_at_s:g}"'
+            f' data-resolved-at-s="{resolved}">'
+            f'<rect x="{x0:.1f}" y="{y - 5:.1f}" width="{max(x1 - x0, 3):.1f}"'
+            f' height="10" rx="4" style="fill:var({css_var})">'
+            f"<title>{escape(alert.details or alert.name)}</title></rect>"
+            f"</g>"
+        )
+        span = (
+            f"fired {alert.fired_at_s:g}s, resolved {alert.resolved_at_s:g}s"
+            if alert.resolved_at_s is not None
+            else f"fired {alert.fired_at_s:g}s, still active"
+        )
+        rows.append(
+            f'<p class="alert-row"><span class="sev"'
+            f' style="color:var(--ink)">{icon} {escape(alert.severity)}</span>'
+            f" &middot; {escape(alert.name)} &middot; {span}"
+            f" &middot; {escape(alert.details)}</p>"
+        )
+    return _panel(
+        "Alerts",
+        f"{len(alerts)} alert(s); bar spans fire to resolve on the run clock",
+        f'<div data-alert-count="{len(alerts)}">{plot.svg()}</div>',
+        *rows,
+    )
+
+
+def _table_panel(windows: Sequence[WindowStats]) -> str:
+    head = (
+        "<tr><th>window</th><th>t (s)</th><th>arrivals</th><th>served</th>"
+        "<th>shed</th><th>hit</th><th>TTFT p50</th><th>TTFT p90</th>"
+        "<th>TTFT p99</th></tr>"
+    )
+    rows = []
+    for w in windows:
+        p50, p90, p99 = (
+            (w.ttft_percentile(q) for q in (50.0, 90.0, 99.0))
+            if w.ttft_samples
+            else (0.0, 0.0, 0.0)
+        )
+        rows.append(
+            f"<tr><td>{w.index}</td><td>{w.start_s:g}-{w.end_s:g}</td>"
+            f"<td>{w.arrivals}</td><td>{w.served}</td><td>{w.shed}</td>"
+            f"<td>{w.hit_ratio:.0%}</td><td>{_fmt_s(p50)}</td>"
+            f"<td>{_fmt_s(p90)}</td><td>{_fmt_s(p99)}</td></tr>"
+        )
+    return (
+        "<details><summary>Per-window data table</summary>"
+        f"<table>{head}{''.join(rows)}</table></details>"
+    )
+
+
+def _tiles(totals: dict[str, Any], alerts: Sequence[Alert]) -> str:
+    tiles = [
+        ("requests", _fmt_n(totals["num_requests"])),
+        ("served", _fmt_n(totals["served"])),
+        ("shed", _fmt_n(totals["shed"])),
+        ("hit ratio", f"{totals['hit_ratio']:.0%}"),
+        ("TTFT p50", _fmt_s(totals["ttft_p50_s"])),
+        ("TTFT p99", _fmt_s(totals["ttft_p99_s"])),
+        ("alerts", str(len(alerts))),
+    ]
+    parts = ['<div class="tiles">']
+    for label, value in tiles:
+        parts.append(
+            f'<div class="tile"><div class="label">{escape(label)}</div>'
+            f'<div class="value">{escape(value)}</div></div>'
+        )
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def _document(title: str, subtitle: str, *body: str) -> str:
+    sub = f'<p class="subtitle">{escape(subtitle)}</p>' if subtitle else ""
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{escape(title)}</title>"
+        f"<style>{_CSS}</style></head>"
+        f'<body><div class="dash"><h1>{escape(title)}</h1>{sub}'
+        + "".join(body)
+        + '<p class="footer">Self-contained dashboard &middot; simulated'
+        " clock &middot; hover any window for its numbers.</p>"
+        "</div></body></html>\n"
+    )
+
+
+# ----------------------------------------------------------------- frontend
+def render_dashboard(
+    source: TimeSeriesRecorder | Sequence[WindowStats],
+    *,
+    alerts: Sequence[Alert] = (),
+    objectives: Sequence[SLOObjective] = (),
+    title: str = "Run dashboard",
+    subtitle: str = "",
+) -> str:
+    """Render one run's window series (+ alerts) as a self-contained page."""
+    windows = _as_windows(source)
+    if not windows:
+        return _document(
+            title,
+            subtitle or "empty run — no windows recorded",
+            _alert_panel((), 1.0),
+        )
+    duration_s = windows[-1].end_s
+    totals = _series_totals(windows)
+    tracks: list[str] = sorted(
+        {track for window in windows for track in window.busy_s}
+    )
+    if not subtitle:
+        subtitle = (
+            f"{len(windows)} windows of {windows[0].width_s:g}s over"
+            f" {duration_s:g}s simulated"
+        )
+    return _document(
+        title,
+        subtitle,
+        _tiles(totals, alerts),
+        _traffic_panel(windows, duration_s),
+        _ttft_panel(windows, duration_s, objectives),
+        _utilization_panel(windows, duration_s, tracks),
+        _tier_panel(windows, duration_s),
+        _alert_panel(alerts, duration_s),
+        _table_panel(windows),
+    )
+
+
+def render_diff_dashboard(
+    baseline: TimeSeriesRecorder | Sequence[WindowStats],
+    candidate: TimeSeriesRecorder | Sequence[WindowStats],
+    *,
+    labels: tuple[str, str] = ("baseline", "candidate"),
+    title: str = "Run comparison",
+    subtitle: str = "",
+) -> str:
+    """Overlay two runs for a before/after comparison."""
+    runs = [(labels[0], _as_windows(baseline)), (labels[1], _as_windows(candidate))]
+    duration_s = max((w[-1].end_s for _, w in runs if w), default=1.0)
+
+    def overlay(
+        name: str,
+        note: str,
+        value,
+        y_max: float | None = None,
+        y_fmt=None,
+    ) -> str:
+        peak = max(
+            (value(w) for _, ws in runs for w in ws),
+            default=0.0,
+        )
+        plot = _Plot(
+            duration_s,
+            y_max if y_max is not None else _nice_max(peak),
+            190,
+            y_fmt=y_fmt,
+        )
+        plot.chrome()
+        for (label, windows), css_var in zip(runs, ("--s1", "--s2")):
+            points = [((w.start_s + w.end_s) / 2.0, value(w)) for w in windows]
+            plot.line(points, css_var)
+        return _panel(
+            name,
+            note,
+            _legend(("--s1", "line", labels[0]), ("--s2", "line", labels[1])),
+            plot.svg(),
+        )
+
+    panels = [
+        overlay(
+            "Traffic",
+            "offered arrival rate per window",
+            lambda w: w.arrival_rate_rps,
+        ),
+        overlay(
+            "TTFT p99",
+            "per-window 99th-percentile time to first token",
+            lambda w: w.ttft_percentile(99.0) if w.ttft_samples else 0.0,
+            y_fmt=_fmt_s,
+        ),
+        overlay(
+            "Hit ratio",
+            "fraction of served requests that used the KV cache",
+            lambda w: w.hit_ratio,
+            y_max=1.0,
+            y_fmt=lambda v: f"{v:.0%}",
+        ),
+    ]
+    head = f"<tr><th>metric</th><th>{escape(labels[0])}</th><th>{escape(labels[1])}</th><th>&Delta;</th></tr>"
+    rows = []
+    totals = [_series_totals(w) for _, w in runs]
+    for key, fmt in (
+        ("num_requests", _fmt_n),
+        ("served", _fmt_n),
+        ("shed", _fmt_n),
+        ("hit_ratio", lambda v: f"{v:.1%}"),
+        ("ttft_p50_s", _fmt_s),
+        ("ttft_p99_s", _fmt_s),
+    ):
+        a, b = totals[0][key], totals[1][key]
+        rows.append(
+            f"<tr><td>{escape(key)}</td><td>{escape(fmt(a))}</td>"
+            f"<td>{escape(fmt(b))}</td><td>{b - a:+g}</td></tr>"
+        )
+    table = _panel(
+        "Totals",
+        "whole-run aggregates side by side",
+        f"<table>{head}{''.join(rows)}</table>",
+    )
+    return _document(title, subtitle, *panels, table)
+
+
+def write_dashboard(
+    path: str | Path,
+    source: TimeSeriesRecorder | Sequence[WindowStats],
+    *,
+    alerts: Sequence[Alert] = (),
+    objectives: Sequence[SLOObjective] = (),
+    title: str = "Run dashboard",
+    subtitle: str = "",
+) -> Path:
+    """Render and write the dashboard; returns the written path."""
+    path = Path(path)
+    path.write_text(
+        render_dashboard(
+            source,
+            alerts=alerts,
+            objectives=objectives,
+            title=title,
+            subtitle=subtitle,
+        ),
+        encoding="utf-8",
+    )
+    return path

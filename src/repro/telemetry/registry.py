@@ -22,6 +22,8 @@ reports, tests and the JSONL export can serialize directly.
 
 from __future__ import annotations
 
+import random
+import re
 from typing import Iterator, Mapping, Sequence
 
 from ..metrics.stats import percentiles
@@ -125,26 +127,70 @@ class Gauge(_Metric):
 
 
 class Histogram(_Metric):
-    """A labeled sample distribution summarized by the shared percentiles."""
+    """A labeled sample distribution summarized by the shared percentiles.
+
+    By default every observation is kept (exact percentiles).  For
+    million-request runs pass ``max_samples`` to bound memory: each label set
+    keeps a uniform reservoir of that size (Vitter's Algorithm R), seeded
+    from the metric name and label set so summaries are deterministic across
+    runs.  Count / mean / max stay exact in reservoir mode — they come from
+    running accumulators — only the percentiles are estimated from the
+    reservoir.
+    """
 
     kind = "histogram"
 
     def __init__(
-        self, name: str, help: str = "", qs: Sequence[float] = (50.0, 95.0, 99.0)
+        self,
+        name: str,
+        help: str = "",
+        qs: Sequence[float] = (50.0, 95.0, 99.0),
+        max_samples: int | None = None,
     ) -> None:
         super().__init__(name, help)
+        if max_samples is not None and max_samples <= 0:
+            raise ValueError("max_samples must be positive (or None for exact)")
         self.qs = tuple(qs)
+        self.max_samples = max_samples
         self._samples: dict[LabelKey, list[float]] = {}
+        self._observed: dict[LabelKey, int] = {}
+        self._sum: dict[LabelKey, float] = {}
+        self._max: dict[LabelKey, float] = {}
+        self._rngs: dict[LabelKey, random.Random] = {}
 
     def observe(self, value: float, **labels: object) -> None:
         """Record one observation for a label set."""
-        self._samples.setdefault(_label_key(labels), []).append(float(value))
+        key = _label_key(labels)
+        value = float(value)
+        seen = self._observed.get(key, 0) + 1
+        self._observed[key] = seen
+        self._sum[key] = self._sum.get(key, 0.0) + value
+        current_max = self._max.get(key)
+        if current_max is None or value > current_max:
+            self._max[key] = value
+        samples = self._samples.setdefault(key, [])
+        if self.max_samples is None or len(samples) < self.max_samples:
+            samples.append(value)
+            return
+        rng = self._rngs.get(key)
+        if rng is None:
+            # Seed by identity, not by time: same run -> same reservoir.
+            rng = random.Random(f"{self.name}|{_label_str(key)}")
+            self._rngs[key] = rng
+        slot = rng.randrange(seen)
+        if slot < self.max_samples:
+            samples[slot] = value
 
     def count(self, **labels: object) -> int:
-        return len(self._samples.get(_label_key(labels), ()))
+        """Observations recorded (exact even when the reservoir is bounded)."""
+        return self._observed.get(_label_key(labels), 0)
 
     def values(self, **labels: object) -> list[float]:
-        """The raw observations of one label set (a copy)."""
+        """The retained observations of one label set (a copy).
+
+        In exact mode this is every observation; in reservoir mode it is the
+        current (at most ``max_samples``-sized) uniform sample.
+        """
         return list(self._samples.get(_label_key(labels), ()))
 
     def summary(self, **labels: object) -> dict[str, float]:
@@ -153,12 +199,14 @@ class Histogram(_Metric):
         Zero observations yield an all-zero summary (idle resources must
         snapshot cleanly), mirroring ``summarize_latencies`` on empty input.
         """
-        samples = self._samples.get(_label_key(labels), [])
+        key = _label_key(labels)
+        samples = self._samples.get(key, [])
+        seen = self._observed.get(key, 0)
         ranks = percentiles(samples, self.qs)
         summary = {
-            "count": len(samples),
-            "mean": sum(samples) / len(samples) if samples else 0.0,
-            "max": max(samples) if samples else 0.0,
+            "count": seen,
+            "mean": self._sum.get(key, 0.0) / seen if seen else 0.0,
+            "max": self._max.get(key, 0.0),
         }
         for q, value in zip(self.qs, ranks):
             summary[f"p{q:g}"] = value
@@ -194,8 +242,16 @@ class MetricsRegistry:
     def gauge(self, name: str, help: str = "") -> Gauge:
         return self._get_or_create(Gauge, name, help)  # type: ignore[return-value]
 
-    def histogram(self, name: str, help: str = "") -> Histogram:
-        return self._get_or_create(Histogram, name, help)  # type: ignore[return-value]
+    def histogram(
+        self, name: str, help: str = "", max_samples: int | None = None
+    ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, help, max_samples=max_samples)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a {metric.kind}, not a histogram")
+        return metric
 
     def get(self, name: str) -> _Metric | None:
         return self._metrics.get(name)
@@ -224,3 +280,76 @@ class MetricsRegistry:
             }
             for name, metric in sorted(self._metrics.items())
         }
+
+    def to_prometheus_text(self) -> str:
+        """The registry in the Prometheus text exposition format.
+
+        Counters and gauges map directly; histograms render as summaries
+        (``quantile``-labeled series plus ``_sum``/``_count``).  Metric and
+        label order is deterministic (sorted), matching :meth:`snapshot`.
+        """
+        lines: list[str] = []
+        type_map = {"counter": "counter", "gauge": "gauge", "histogram": "summary"}
+        for name, metric in sorted(self._metrics.items()):
+            prom = _prom_name(name)
+            if metric.help:
+                lines.append(f"# HELP {prom} {_prom_escape_help(metric.help)}")
+            lines.append(f"# TYPE {prom} {type_map[metric.kind]}")
+            if isinstance(metric, Counter):
+                for key, value in sorted(metric._values.items()):
+                    lines.append(f"{prom}{_prom_labels(key)} {_prom_value(value)}")
+            elif isinstance(metric, Gauge):
+                for key, entry in sorted(metric._values.items()):
+                    lines.append(
+                        f"{prom}{_prom_labels(key)} {_prom_value(entry['last'])}"
+                    )
+            elif isinstance(metric, Histogram):
+                for key in sorted(metric._samples):
+                    summary = metric.summary(**dict(key))
+                    for q in metric.qs:
+                        quantile = ("quantile", f"{q / 100.0:g}")
+                        lines.append(
+                            f"{prom}{_prom_labels(key + (quantile,))}"
+                            f" {_prom_value(summary[f'p{q:g}'])}"
+                        )
+                    lines.append(
+                        f"{prom}_sum{_prom_labels(key)}"
+                        f" {_prom_value(metric._sum.get(key, 0.0))}"
+                    )
+                    lines.append(
+                        f"{prom}_count{_prom_labels(key)} {summary['count']}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LABEL_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    prom = _PROM_INVALID.sub("_", name)
+    if prom and prom[0].isdigit():
+        prom = "_" + prom
+    return prom
+
+
+def _prom_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    pairs = ",".join(
+        f'{_PROM_LABEL_INVALID.sub("_", label)}="{_prom_escape_value(value)}"'
+        for label, value in key
+    )
+    return "{" + pairs + "}"
+
+
+def _prom_escape_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _prom_escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _prom_value(value: float) -> str:
+    return f"{value:g}"

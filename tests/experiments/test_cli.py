@@ -1,0 +1,88 @@
+"""The ``python -m repro.experiments`` CLI: telemetry output flags."""
+
+import json
+import re
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, ExperimentResult, experiment_cli
+
+
+def fake_experiment(tracer=None):
+    """A fast traceable experiment standing in for a real figure."""
+    result = ExperimentResult("fake", "CLI smoke experiment")
+    result.add_row(metric=1.0)
+    if tracer is not None:
+        hit = tracer.span(
+            "request q0", track="request:0", start_s=0.0, dur_s=0.4, category="request"
+        )
+        hit.annotate(used_kv_cache=True, tier="hot")
+        miss = tracer.span(
+            "request q1", track="request:1", start_s=1.0, dur_s=1.5, category="request"
+        )
+        miss.annotate(used_kv_cache=False)
+        tracer.span("decode", track="gpu", start_s=0.1, dur_s=0.3, category="decode")
+        tracer.metrics.counter("requests_served").inc(2)
+        tracer.advance_to(3.0)
+    return result
+
+
+@pytest.fixture()
+def fake_cli(monkeypatch):
+    monkeypatch.setitem(ALL_EXPERIMENTS, "fake-observability", fake_experiment)
+
+
+class TestTelemetryFlags:
+    def test_metrics_out_writes_the_registry_snapshot(self, fake_cli, tmp_path):
+        out = tmp_path / "metrics.json"
+        text = experiment_cli(["fake-observability", "--metrics-out", str(out)])
+        assert f"wrote metrics snapshot to {out}" in text
+        snapshot = json.loads(out.read_text(encoding="utf-8"))
+        assert snapshot["requests_served"]["type"] == "counter"
+        assert snapshot["requests_served"]["values"] == {"": 2.0}
+
+    def test_dashboard_out_renders_the_windowed_run(self, fake_cli, tmp_path):
+        out = tmp_path / "dash.html"
+        text = experiment_cli(
+            [
+                "fake-observability",
+                "--dashboard-out",
+                str(out),
+                "--window-s",
+                "1.0",
+                "--slo-ttft-s",
+                "0.5",
+                "--slo-target",
+                "0.9",
+            ]
+        )
+        assert f"wrote dashboard to {out}" in text
+        html = out.read_text(encoding="utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "fake-observability dashboard" in html
+        assert 'data-window="0"' in html
+        # Self-contained: the CI artifact must open without network access.
+        assert not re.search(r"\b(?:src|href)\s*=", html, re.IGNORECASE)
+
+    def test_dashboard_window_defaults_to_auto(self, fake_cli, tmp_path):
+        out = tmp_path / "dash.html"
+        experiment_cli(["fake-observability", "--dashboard-out", str(out)])
+        assert out.exists()
+
+    def test_plain_run_stays_untraced(self, fake_cli):
+        text = experiment_cli(["fake-observability"])
+        assert "fake" in text
+        assert "wrote" not in text
+
+    def test_telemetry_flags_reject_untraceable_experiments(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        def no_tracer():
+            return ExperimentResult("plain", "no tracer parameter")
+
+        monkeypatch.setitem(ALL_EXPERIMENTS, "fake-untraceable", no_tracer)
+        with pytest.raises(SystemExit):
+            experiment_cli(
+                ["fake-untraceable", "--dashboard-out", str(tmp_path / "x.html")]
+            )
+        assert "does not support tracing" in capsys.readouterr().err

@@ -1,0 +1,134 @@
+"""Self-contained HTML dashboard rendering."""
+
+import re
+
+import pytest
+
+from repro.telemetry import (
+    AlertEngine,
+    BurnRateRule,
+    SLOObjective,
+    TimeSeriesRecorder,
+    render_dashboard,
+    render_diff_dashboard,
+    write_dashboard,
+)
+
+
+@pytest.fixture()
+def recorder():
+    # Windows 2-3 blow the SLO (misses at 1.0s TTFT), window 4 recovers.
+    rec = TimeSeriesRecorder(window_s=1.0)
+    for i in range(50):
+        at = i * 0.1
+        failing = 2.0 <= at < 4.0
+        rec.record_request(
+            at,
+            1.0 if failing else 0.1,
+            used_kv_cache=not failing,
+            served_tier=None if failing else ("hot" if i % 2 == 0 else "cold"),
+        )
+    rec.record_shed(2.1)
+    rec.record_busy("gpu", 0.0, 3.0)
+    rec.record_busy("link:node-0", 1.0, 1.5)
+    rec.record_queue_depth("gpu", 2.5, 4)
+    return rec
+
+
+@pytest.fixture()
+def html(recorder):
+    objective = SLOObjective("ttft", ttft_s=0.5, target=0.9)
+    engine = AlertEngine(
+        [objective],
+        rules=[BurnRateRule("fast-burn", long_s=2.0, short_s=1.0, max_burn_rate=8.0)],
+    )
+    alerts = engine.evaluate(recorder.windows())
+    assert alerts  # fixture sanity: the scenario must raise at least one
+    return render_dashboard(
+        recorder, alerts=alerts, objectives=[objective], title="Test run"
+    )
+
+
+class TestSelfContained:
+    """The dashboard must open from file:// with zero network access."""
+
+    def test_no_external_references(self, html):
+        assert not re.search(r"\bsrc\s*=", html, re.IGNORECASE)
+        assert not re.search(r"\bhref\s*=", html, re.IGNORECASE)
+        for proto in ("http://", "https://", "//cdn", "@import", "url("):
+            assert proto not in html
+
+    def test_single_document_with_inline_style_and_svg(self, html):
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.count("<style>") == 1
+        assert "<script" not in html
+        assert "<svg" in html
+
+    def test_diff_view_is_also_self_contained(self, recorder):
+        html = render_diff_dashboard(recorder, recorder)
+        assert not re.search(r"\b(?:src|href)\s*=", html, re.IGNORECASE)
+
+
+class TestContent:
+    def test_panels_and_title_present(self, html):
+        assert "Test run" in html
+        for panel in (
+            "Traffic",
+            "TTFT",
+            "Utilization",
+            "Tier hit ratio",
+            "Alerts",
+        ):
+            assert panel in html
+
+    def test_windows_carry_machine_readable_attributes(self, html, recorder):
+        assert 'data-window="0"' in html
+        p99_ms = recorder.windows()[0].ttft_percentile(99.0) * 1000.0
+        assert f'data-ttft-p99-ms="{p99_ms:.1f}"' in html
+        assert 'data-shed="1"' in html
+        assert re.search(r'data-hit-ratio="0\.\d+"', html)
+
+    def test_alert_rows_carry_fire_and_resolve_instants(self, html):
+        match = re.search(r'data-alert-count="(\d+)"', html)
+        assert match and int(match.group(1)) > 0
+        assert re.search(r'data-alert-name="ttft:[a-z-]+"', html)
+        assert re.search(r'data-fired-at-s="[\d.]+"', html)
+        assert re.search(r'data-resolved-at-s="[\d.]+"', html)
+
+    def test_table_view_exists_behind_details(self, html):
+        assert "<details" in html and "<table" in html
+
+    def test_slo_reference_line_drawn(self, html):
+        assert "SLO" in html
+
+    def test_empty_run_still_renders_a_document(self):
+        html = render_dashboard(TimeSeriesRecorder(window_s=1.0))
+        assert html.startswith("<!DOCTYPE html>")
+        assert 'data-alert-count="0"' in html
+        assert "No alerts" in html
+
+
+class TestDiff:
+    def test_diff_labels_and_totals(self, recorder):
+        other = TimeSeriesRecorder(window_s=1.0)
+        for i in range(10):
+            other.record_request(i * 0.5, 0.2, used_kv_cache=True)
+        html = render_diff_dashboard(
+            recorder, other, labels=("healthy", "degraded"), title="Compare"
+        )
+        assert "Compare" in html
+        assert "healthy" in html and "degraded" in html
+        assert "Totals" in html
+
+
+class TestWriteDashboard:
+    def test_writes_file_and_returns_path(self, recorder, tmp_path):
+        out = write_dashboard(tmp_path / "dash.html", recorder)
+        assert out == tmp_path / "dash.html"
+        text = out.read_text(encoding="utf-8")
+        assert text.startswith("<!DOCTYPE html>")
+        assert not re.search(r"\b(?:src|href)\s*=", text, re.IGNORECASE)
+
+    def test_accepts_plain_window_sequence(self, recorder):
+        html = render_dashboard(recorder.windows())
+        assert "<svg" in html

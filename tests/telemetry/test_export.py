@@ -100,3 +100,35 @@ class TestJsonl:
         parsed = [json.loads(line) for line in lines]
         assert len(parsed) == 6  # 3 spans + 1 instant + 1 counter + metrics
         assert parsed[-1]["metrics"]["requests_served"]["type"] == "counter"
+
+    def test_round_trip_reconstructs_the_tracer_state(self, tmp_path):
+        """Everything the tracer holds survives the trip through the file."""
+        tracer = small_tracer()
+        out = write_jsonl(tracer, tmp_path / "events.jsonl")
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+
+        spans = [r for r in records if r["kind"] == "span"]
+        assert len(spans) == len(tracer.spans)
+        by_name = {s["name"]: s for s in spans}
+        for span in tracer.spans:
+            record = by_name[span.name]
+            assert record["track"] == span.track
+            assert record["start_s"] == span.start_s
+            assert record["dur_s"] == span.dur_s
+            assert record["category"] == span.category
+            assert record["args"] == span.args
+
+        (instant,) = [r for r in records if r["kind"] == "instant"]
+        (tracer_instant,) = tracer.instants
+        assert instant["name"] == tracer_instant.name
+        assert instant["at_s"] == tracer_instant.at_s
+        assert instant["track"] == tracer_instant.track
+
+        (counter,) = [r for r in records if r["kind"] == "counter"]
+        (sample,) = tracer.samples
+        assert counter["name"] == sample.name
+        assert counter["at_s"] == sample.at_s
+        assert counter["value"] == sample.value
+
+        (metrics,) = [r for r in records if r["kind"] == "metrics"]
+        assert metrics["metrics"] == tracer.metrics.snapshot()

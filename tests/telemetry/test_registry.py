@@ -70,6 +70,93 @@ class TestHistogram:
         assert histogram.count() == 1
 
 
+class TestHistogramReservoir:
+    def test_count_mean_max_stay_exact_when_sampling(self):
+        histogram = Histogram("ttft_s", max_samples=100)
+        for i in range(10_000):
+            histogram.observe(float(i))
+        assert histogram.count() == 10_000
+        assert len(histogram.values()) == 100
+        summary = histogram.summary()
+        assert summary["count"] == 10_000
+        assert summary["mean"] == pytest.approx(4999.5)
+        assert summary["max"] == 9999.0
+
+    def test_reservoir_is_deterministic_per_metric_name(self):
+        def build(name):
+            histogram = Histogram(name, max_samples=16)
+            for i in range(1000):
+                histogram.observe(float(i))
+            return histogram.values()
+
+        assert build("ttft_s") == build("ttft_s")
+        assert build("ttft_s") != build("decode_s")
+
+    def test_below_capacity_keeps_every_sample(self):
+        histogram = Histogram("ttft_s", max_samples=100)
+        for i in range(10):
+            histogram.observe(float(i))
+        assert histogram.values() == [float(i) for i in range(10)]
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError, match="max_samples"):
+            Histogram("ttft_s", max_samples=0)
+
+    def test_registry_passes_capacity_through(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("ttft_s", max_samples=8)
+        assert registry.histogram("ttft_s") is histogram
+        for i in range(100):
+            histogram.observe(float(i))
+        assert len(histogram.values()) == 8
+        registry.counter("requests")
+        with pytest.raises(TypeError, match="counter"):
+            registry.histogram("requests")
+
+
+class TestPrometheusText:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", help='served "requests"').inc(3, path="kv")
+        registry.gauge("queue_depth").set(4, gpu="gpu-0")
+        histogram = registry.histogram("ttft_s", help="first token latency")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            histogram.observe(value)
+        return registry
+
+    def test_exposition_format(self):
+        text = self.build().to_prometheus_text()
+        lines = text.splitlines()
+        assert "# TYPE requests_total counter" in lines
+        # HELP text escapes backslash/newline only; quotes stay literal.
+        assert '# HELP requests_total served "requests"' in lines
+        assert 'requests_total{path="kv"} 3' in lines
+        assert "# TYPE queue_depth gauge" in lines
+        assert 'queue_depth{gpu="gpu-0"} 4' in lines
+        assert "# TYPE ttft_s summary" in lines
+        assert 'ttft_s{quantile="0.5"}' in "\n".join(lines)
+        assert "ttft_s_sum 1" in text
+        assert "ttft_s_count 4" in text
+        assert text.endswith("\n")
+
+    def test_metric_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("link:node-0/bytes").inc(1)
+        text = registry.to_prometheus_text()
+        # '-' and '/' are illegal in exposition names; ':' is legal.
+        assert "link:node_0_bytes 1" in text
+
+    def test_output_is_deterministic_across_insertion_order(self):
+        forward = MetricsRegistry()
+        forward.counter("a").inc(1, x="1")
+        forward.counter("b").inc(2)
+        backward = MetricsRegistry()
+        backward.counter("b").inc(2)
+        backward.counter("a").inc(1, x="1")
+        assert forward.to_prometheus_text() == backward.to_prometheus_text()
+        assert list(forward.snapshot()) == list(backward.snapshot())
+
+
 class TestMetricsRegistry:
     def test_get_or_create_returns_the_same_metric(self):
         registry = MetricsRegistry()
