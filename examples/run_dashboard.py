@@ -43,6 +43,9 @@ CONTEXT = "ops-context"
 
 
 def spec() -> ServingSpec:
+    # Each node runs a two-worker GPU fleet (``gpu_workers=2``) so the
+    # dashboard's utilization lanes show per-worker swimlanes; dispatch and
+    # pool sizing are spec fields, not engine internals.
     return ServingSpec(
         model="mistral-7b",
         chunk_tokens=256,
@@ -50,6 +53,8 @@ def spec() -> ServingSpec:
         num_nodes=2,
         replication=1,
         concurrency=2,
+        gpu_workers=2,
+        dispatch_policy="locality",
     )
 
 
@@ -75,7 +80,7 @@ def main() -> None:
     # holds the context's only replica before we decide what to break.
     scratch = build_backend(spec())
     scratch.ingest(CONTEXT, NUM_TOKENS)
-    primary = scratch.frontend.cluster.replicas_for(CONTEXT)[0]
+    primary = scratch.replicas_for(CONTEXT)[0]
 
     # 2. The same arrival stream, with the replica down mid-run.
     fail_at = NUM_REQUESTS // 3

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Check that relative markdown links resolve to files in the repository.
+
+Scans the given markdown files (default: README.md, ROADMAP.md, CHANGES.md
+and everything under docs/) for ``[text](target)`` links and verifies every
+*relative* target exists on disk.  External links (http/https/mailto) and
+pure in-page anchors (``#section``) are not fetched — this check is
+network-free so CI stays deterministic.
+
+    python scripts/check_markdown_links.py            # default file set
+    python scripts/check_markdown_links.py docs/*.md  # explicit files
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline links ``[text](target)``; images share the syntax via ``![alt](t)``.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def default_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md", REPO_ROOT / "CHANGES.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("**/*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    # Strip fenced code blocks: link-looking text in code is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_SCHEMES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    files = [Path(arg) for arg in argv] if argv else default_files()
+    errors: list[str] = []
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)  # noqa: T201 - CLI entry point
+    print(  # noqa: T201 - CLI entry point
+        f"checked {len(files)} markdown file(s): "
+        + ("FAILED" if errors else "all links resolve")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

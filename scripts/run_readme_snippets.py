@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Execute the python snippets of one README section (doctest-style CI).
+
+Extracts every fenced ``python`` code block under the given heading (up to
+the next same-level heading) and runs them in one shared namespace, so a
+section's snippets can build on each other.  Any exception fails the run —
+this is how CI keeps the README's fleet quickstart honest:
+
+    PYTHONPATH=src REPRO_SMOKE=1 python scripts/run_readme_snippets.py \
+        --section "Fleet serving & autoscaling"
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def extract_snippets(markdown: str, section: str) -> list[str]:
+    """Fenced python blocks between ``section``'s heading and the next one."""
+    lines = markdown.splitlines()
+    heading_re = re.compile(r"^(#+)\s+(.*)$")
+    start = level = None
+    for i, line in enumerate(lines):
+        match = heading_re.match(line)
+        if match and match.group(2).strip() == section:
+            start, level = i + 1, len(match.group(1))
+            break
+    if start is None:
+        raise SystemExit(f"section {section!r} not found in README")
+    end = len(lines)
+    for i in range(start, len(lines)):
+        match = heading_re.match(lines[i])
+        if match and len(match.group(1)) <= level:
+            end = i
+            break
+    body = "\n".join(lines[start:end])
+    return re.findall(r"```python\n(.*?)```", body, flags=re.DOTALL)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--readme", type=Path, default=REPO_ROOT / "README.md")
+    parser.add_argument(
+        "--section",
+        default="Fleet serving & autoscaling",
+        help="heading whose python blocks are executed (default: the fleet quickstart)",
+    )
+    args = parser.parse_args(argv)
+
+    snippets = extract_snippets(args.readme.read_text(encoding="utf-8"), args.section)
+    if not snippets:
+        print(  # noqa: T201 - CLI entry point
+            f"no python snippets under {args.section!r}", file=sys.stderr
+        )
+        return 1
+    namespace: dict[str, object] = {"__name__": "__readme__"}
+    for index, snippet in enumerate(snippets):
+        print(f"running snippet {index + 1}/{len(snippets)}")  # noqa: T201 - CLI
+        exec(compile(snippet, f"<README:{args.section}:{index}>", "exec"), namespace)
+    print(f"{len(snippets)} snippet(s) ran clean")  # noqa: T201 - CLI entry point
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,9 @@ Public entry points
   observability: windowed time-series on every ``RunReport``
   (``report.timeseries``), burn-rate SLO alerting (``report.alerts``), and a
   self-contained HTML run dashboard.
+* :class:`repro.GpuWorkerPool` / :class:`repro.AutoscaleSpec` — multi-GPU
+  fleet serving: set ``gpu_workers`` / ``dispatch_policy`` / ``autoscale`` on
+  the spec and the event engine dispatches across a pool of GPU workers.
 * :mod:`repro.baselines` — every method the paper compares against.
 * :mod:`repro.experiments` — one module per table/figure of the evaluation.
 * :mod:`repro.cluster` — sharded, replicated, capacity-bounded KV-cache
@@ -37,13 +40,20 @@ from .core import CacheGenConfig, CacheGenDecoder, CacheGenEncoder, EncodingLeve
 from .llm import ComputeModel, ModelConfig, QualityModel, SyntheticLLM, get_model_config
 from .network import ConstantTrace, NetworkLink, RandomTrace, StepTrace, gbps
 from .serving import (
+    AutoscaleSpec,
     ContextLoadingEngine,
+    DispatchPolicy,
     Driver,
+    GpuWorkerPool,
+    LeastLoadedDispatch,
+    LocalityDispatch,
     RunReport,
     ServeRequest,
     ServeResponse,
     ServingSpec,
+    StickyDispatch,
     build_backend,
+    make_dispatch,
     serve,
 )
 from .streaming import KVStreamer, SLOAwareAdapter, prepare_chunks
@@ -63,6 +73,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "AlertEngine",
+    "AutoscaleSpec",
     "CacheGenConfig",
     "CacheGenDecoder",
     "CacheGenEncoder",
@@ -71,10 +82,14 @@ __all__ = [
     "ComputeModel",
     "ConstantTrace",
     "ContextLoadingEngine",
+    "DispatchPolicy",
     "Driver",
     "EncodingLevel",
+    "GpuWorkerPool",
     "KVCache",
     "KVStreamer",
+    "LeastLoadedDispatch",
+    "LocalityDispatch",
     "ModelConfig",
     "NetworkLink",
     "QualityModel",
@@ -86,6 +101,7 @@ __all__ = [
     "ServeResponse",
     "ServingSpec",
     "StepTrace",
+    "StickyDispatch",
     "SyntheticLLM",
     "TimeSeriesRecorder",
     "Tracer",
@@ -94,6 +110,7 @@ __all__ = [
     "build_backend",
     "gbps",
     "get_model_config",
+    "make_dispatch",
     "prepare_chunks",
     "render_dashboard",
     "render_diff_dashboard",

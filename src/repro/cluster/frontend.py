@@ -108,6 +108,12 @@ class ClusterFrontend(ContextLoadingEngine):
         :class:`repro.serving.api.ServingSpec` with ``topology="cluster"`` (or
         ``"tiered"``) and use :func:`repro.serving.api.serve` /
         ``build_backend`` instead.
+
+    Example
+    -------
+    >>> frontend = ClusterFrontend("mistral-7b", node_links=4, replication_factor=2)
+    >>> frontend.ingest("doc-1", num_tokens=8_000)  # doctest: +SKIP
+    >>> frontend.query("doc-1", "what changed?")  # doctest: +SKIP
     """
 
     def __init__(

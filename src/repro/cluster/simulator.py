@@ -204,6 +204,13 @@ class ClusterSimulator:
         keeps the sequential path.
     max_decode_batch:
         Batched-decode cap handed to the concurrent engine.
+
+    Example
+    -------
+    >>> frontend = ClusterFrontend("mistral-7b", node_links=4)
+    >>> simulator = ClusterSimulator(frontend, WorkloadGenerator(num_contexts=20))
+    >>> report = simulator.run(num_requests=100)  # doctest: +SKIP
+    >>> print(report.format_table())  # doctest: +SKIP
     """
 
     def __init__(

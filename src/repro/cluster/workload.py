@@ -53,6 +53,13 @@ class WorkloadGenerator:
         by arrival order.
     seed:
         Seed of the single RNG behind popularity draws, arrivals and lengths.
+
+    Example
+    -------
+    >>> workload = WorkloadGenerator(num_contexts=50, zipf_alpha=1.0, seed=7)
+    >>> requests = workload.generate(num_requests=200)
+    >>> requests[0].context_id  # doctest: +SKIP
+    'ctx-0'
     """
 
     def __init__(

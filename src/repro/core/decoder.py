@@ -33,6 +33,13 @@ class CacheGenDecoder:
         The fitted encoder whose probability models produced the bitstreams.
         The decoder shares the encoder's configuration and models, exactly as
         the paper's receiver shares the offline-profiled distributions.
+
+    Example
+    -------
+    >>> encoder = CacheGenEncoder(CacheGenConfig())
+    >>> encoder.fit([reference_kv])  # doctest: +SKIP
+    >>> decoder = CacheGenDecoder(encoder)
+    >>> kv = decoder.decode(encoder.encode(reference_kv, level="high"))  # doctest: +SKIP
     """
 
     def __init__(self, encoder: CacheGenEncoder) -> None:

@@ -42,6 +42,13 @@ class KVCache:
         simulation scale (fewer layers/channels than the real model), these
         record the real dimensions so compressed sizes can be extrapolated.
         They default to the simulated dimensions.
+
+    Example
+    -------
+    >>> kv = SyntheticLLM("mistral-7b").calculate_kv("ctx", num_tokens=2_000)
+    >>> kv.shape  # (layers, tokens, channels)  # doctest: +SKIP
+    >>> [chunk.num_tokens for chunk in kv.split_tokens(1_500)]  # doctest: +SKIP
+    [1500, 500]
     """
 
     k: np.ndarray

@@ -263,7 +263,8 @@ def experiment_cli(argv: Sequence[str] | None = None) -> str:
     ``--metrics-out`` writes the run's metrics-registry snapshot as JSON;
     ``--dashboard-out`` renders the windowed run dashboard (window width from
     ``--window-s``, an optional TTFT SLO from ``--slo-ttft-s`` /
-    ``--slo-target`` driving the burn-rate alerts).
+    ``--slo-target`` driving the burn-rate alerts); ``--gpu-workers N`` runs
+    fleet-aware experiments with a pool of ``N`` GPU workers.
     """
     import argparse
     import inspect
@@ -276,6 +277,13 @@ def experiment_cli(argv: Sequence[str] | None = None) -> str:
         description="Run one reproduced table/figure and print its rows.",
     )
     parser.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS))
+    parser.add_argument(
+        "--gpu-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="size of the GPU worker fleet (experiments that accept gpu_workers)",
+    )
     parser.add_argument(
         "--trace-out",
         default=None,
@@ -348,7 +356,24 @@ def experiment_cli(argv: Sequence[str] | None = None) -> str:
 
         tracer = Tracer()
 
-    result = run(**({"tracer": tracer} if tracer is not None else {}))
+    kwargs: dict[str, Any] = {}
+    if tracer is not None:
+        kwargs["tracer"] = tracer
+    if args.gpu_workers is not None:
+        if "gpu_workers" not in inspect.signature(run).parameters:
+            parser.error(
+                f"{args.experiment} does not support --gpu-workers; fleet-aware "
+                "experiments: "
+                + ", ".join(
+                    sorted(
+                        name
+                        for name, fn in ALL_EXPERIMENTS.items()
+                        if "gpu_workers" in inspect.signature(fn).parameters
+                    )
+                )
+            )
+        kwargs["gpu_workers"] = args.gpu_workers
+    result = run(**kwargs)
     lines = [result.format_table()]
     if tracer is not None:
         from ..telemetry import write_chrome_trace, write_jsonl

@@ -67,6 +67,11 @@ class ComputeModel:
         The LLM configuration being served.
     gpu:
         GPU specification; defaults to the paper's A40.
+
+    Example
+    -------
+    >>> compute = ComputeModel(get_model_config("mistral-7b"))
+    >>> compute.prefill_delay(num_tokens=9_600)  # seconds  # doctest: +SKIP
     """
 
     #: FLOPs spent by CacheGen's GPU arithmetic decoder per KV element.  The

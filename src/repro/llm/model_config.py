@@ -56,6 +56,11 @@ class ModelConfig:
         Maximum context length of the fine-tuned long-context variant.
     sim_layers, sim_channels:
         Dimensions of the synthetic KV tensors we materialise for this model.
+
+    Example
+    -------
+    >>> config = get_model_config("mistral-7b")
+    >>> config.num_layers, config.head_dim  # doctest: +SKIP
     """
 
     name: str
@@ -180,6 +185,11 @@ def get_model_config(name: str) -> ModelConfig:
     ------
     KeyError
         If ``name`` is not one of the known model configurations.
+
+    Example
+    -------
+    >>> get_model_config("mistral-7b").name
+    'mistral-7b'
     """
     try:
         return MODELS[name]

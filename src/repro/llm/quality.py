@@ -84,6 +84,12 @@ class QualityModel:
         Lossless-cache metric value per task.  Defaults follow the paper's
         reported numbers (accuracy ~1.0 on LongChat with Mistral-7B, F1 in the
         40-95% range, perplexity around 5-10).
+
+    Example
+    -------
+    >>> quality = QualityModel(num_layers=32)
+    >>> quality.layer_sensitivity().shape  # deeper layers tolerate more loss
+    (32,)
     """
 
     #: Linear and quadratic distortion penalties per task, calibrated per the

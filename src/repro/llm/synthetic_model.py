@@ -70,6 +70,13 @@ class SyntheticLLM:
     quality_model:
         Surrogate mapping KV distortion to generation quality.  A default is
         constructed if omitted.
+
+    Example
+    -------
+    >>> llm = SyntheticLLM("mistral-7b")
+    >>> kv = llm.calculate_kv("ctx", num_tokens=2_000)  # deterministic per id
+    >>> llm.calculate_kv("ctx", num_tokens=2_000).k.shape == kv.k.shape
+    True
     """
 
     def __init__(

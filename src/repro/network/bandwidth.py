@@ -28,7 +28,13 @@ GBPS = 1e9
 
 
 def gbps(value: float) -> float:
-    """Convert Gbps to bits per second."""
+    """Convert Gbps to bits per second.
+
+    Example
+    -------
+    >>> gbps(3.0)
+    3000000000.0
+    """
     return value * GBPS
 
 
@@ -49,7 +55,14 @@ class BandwidthTrace:
 
 @dataclass(frozen=True)
 class ConstantTrace(BandwidthTrace):
-    """A fixed-rate link."""
+    """A fixed-rate link.
+
+    Example
+    -------
+    >>> trace = ConstantTrace(gbps(3.0))
+    >>> trace.bandwidth_at(10.0) == gbps(3.0)
+    True
+    """
 
     bandwidth_bps: float
 
@@ -92,7 +105,14 @@ class PiecewiseTrace(BandwidthTrace):
 def StepTrace(
     initial_bps: float, drop_bps: float, recovered_bps: float, drop_at_s: float, recover_at_s: float
 ) -> PiecewiseTrace:
-    """The Figure 7 style trace: start fast, drop sharply, partially recover."""
+    """The Figure 7 style trace: start fast, drop sharply, partially recover.
+
+    Example
+    -------
+    >>> trace = StepTrace(gbps(3.0), gbps(0.5), gbps(3.0), drop_at_s=2.0, recover_at_s=6.0)
+    >>> trace.bandwidth_at(4.0) == gbps(0.5)
+    True
+    """
     if not 0 < drop_at_s < recover_at_s:
         raise ValueError("require 0 < drop_at_s < recover_at_s")
     return PiecewiseTrace(
@@ -107,6 +127,12 @@ class RandomTrace(BandwidthTrace):
 
     This reproduces the §7.4 setup where each context chunk's bandwidth is
     sampled from a random distribution between 0.1 and 10 Gbps.
+
+    Example
+    -------
+    >>> trace = RandomTrace(min_bps=gbps(0.1), max_bps=gbps(10.0), seed=0)
+    >>> trace.bandwidth_at(1.0) == RandomTrace(seed=0).bandwidth_at(1.0)  # doctest: +SKIP
+    True
     """
 
     min_bps: float = 0.1 * GBPS

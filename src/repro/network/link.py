@@ -48,6 +48,12 @@ class NetworkLink:
         Round-trip time added once per transfer (request/first-byte latency).
     integration_step_s:
         Time step used to integrate the trace.
+
+    Example
+    -------
+    >>> link = NetworkLink(ConstantTrace(gbps(3.0)))
+    >>> link.transfer(num_bytes=3e9 / 8).duration  # one second of payload
+    1.0
     """
 
     def __init__(

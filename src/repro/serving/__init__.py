@@ -15,6 +15,7 @@ from .engine import ContextLoadingEngine
 from .pipeline import IngestReport, QueryResponse
 from .concurrent import ConcurrentEngine, ConcurrentQueryResponse
 from .api import (
+    AutoscaleSpec,
     Driver,
     RunReport,
     ServeRequest,
@@ -23,18 +24,33 @@ from .api import (
     build_backend,
     serve,
 )
+from .fleet import (
+    DispatchPolicy,
+    GpuWorkerPool,
+    LeastLoadedDispatch,
+    LocalityDispatch,
+    StickyDispatch,
+    make_dispatch,
+)
 
 __all__ = [
+    "AutoscaleSpec",
     "ConcurrentEngine",
     "ConcurrentQueryResponse",
     "ContextLoadingEngine",
+    "DispatchPolicy",
     "Driver",
+    "GpuWorkerPool",
     "IngestReport",
+    "LeastLoadedDispatch",
+    "LocalityDispatch",
     "QueryResponse",
     "RunReport",
     "ServeRequest",
     "ServeResponse",
     "ServingSpec",
+    "StickyDispatch",
     "build_backend",
+    "make_dispatch",
     "serve",
 ]

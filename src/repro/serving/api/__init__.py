@@ -25,12 +25,14 @@ package must stay limited to the leaf modules.
 
 from __future__ import annotations
 
+from ..fleet.autoscale import AutoscaleSpec
 from .spec import ServingSpec
 from .types import RunReport, ServeRequest, ServeResponse
 
 __all__ = [
     "AdmissionPolicy",
     "AdmitAll",
+    "AutoscaleSpec",
     "Backend",
     "ClusterBackend",
     "ConcurrencyLimitAdmission",

@@ -293,6 +293,9 @@ class ConcurrentBackend(SingleNodeBackend):
                 max_decode_batch=spec.max_decode_batch,
                 batch_overhead=spec.batch_overhead,
                 admission_limit=spec.admission_limit,
+                gpu_workers=spec.gpu_workers,
+                dispatch_policy=spec.dispatch_policy,
+                autoscale=spec.autoscale,
             )
 
     def attach_tracer(self, tracer: Tracer | None) -> None:
@@ -309,6 +312,7 @@ class ConcurrentBackend(SingleNodeBackend):
                 num_tokens=request.num_tokens,
                 task=request.task,
                 slo_s=request.slo_s,
+                session_id=request.session_id,
             )
         return list(self._concurrent.run())
 
@@ -369,6 +373,9 @@ class ClusterBackend(_EngineBackend):
                     max_decode_batch=spec.max_decode_batch,
                     batch_overhead=spec.batch_overhead,
                     admission_limit=spec.admission_limit,
+                    gpu_workers=spec.gpu_workers,
+                    dispatch_policy=spec.dispatch_policy,
+                    autoscale=spec.autoscale,
                 )
 
     # --------------------------------------------------------------- telemetry
@@ -387,6 +394,14 @@ class ClusterBackend(_EngineBackend):
 
     def mark_up(self, node_id: str) -> None:
         self.frontend.mark_up(node_id)
+
+    def replicas_for(self, context_id: str) -> list[str]:
+        """Node ids holding replicas of a context (public topology tap).
+
+        Examples and tests use this instead of reaching into
+        ``backend.frontend.cluster`` internals.
+        """
+        return list(self.frontend.cluster.replicas_for(context_id))
 
     # ------------------------------------------------------------------ serve
     def ingest(self, context_id: str, num_tokens: int) -> IngestReport:
@@ -414,6 +429,7 @@ class ClusterBackend(_EngineBackend):
                 num_tokens=request.num_tokens,
                 task=request.task,
                 slo_s=request.slo_s,
+                session_id=request.session_id,
             )
         return list(self._concurrent.run())
 
@@ -434,6 +450,13 @@ def build_backend(spec: ServingSpec, kind: str | None = None) -> Backend:
     ``kind`` overrides the derived choice (e.g. to force the sequential
     adapter on a spec whose ``concurrency`` is above 1); it must stay
     compatible with the spec's topology.
+
+    Example
+    -------
+    >>> spec = ServingSpec(topology="cluster", num_nodes=4)
+    >>> backend = build_backend(spec)  # kind inferred from the topology
+    >>> backend.kind
+    'cluster'
     """
     kind = kind or spec.backend_kind
     if kind in ("single", "concurrent") and spec.topology != "single":

@@ -176,6 +176,12 @@ class Driver:
     served against the store state current at *their* arrival before the
     ingest may evict anything they were routed to.  Unbounded stores only
     grow, so there the run stays one continuous simulation end to end.
+
+    Example
+    -------
+    >>> spec = ServingSpec(concurrency=8)
+    >>> driver = Driver(spec, workload=WorkloadGenerator(num_contexts=20))
+    >>> report = driver.run(num_requests=100)  # doctest: +SKIP
     """
 
     def __init__(
@@ -462,6 +468,15 @@ def serve(
     ``backend`` optionally forces the adapter kind (``"single"`` /
     ``"concurrent"`` / ``"cluster"``).  A ``tracer`` records the run's full
     telemetry and rides back on ``report.telemetry``.
+
+    Example
+    -------
+    >>> report = serve(
+    ...     ServingSpec(concurrency=8),
+    ...     workload=WorkloadGenerator(num_contexts=20),
+    ...     num_requests=100,
+    ... )  # doctest: +SKIP
+    >>> report.ttft.p95  # doctest: +SKIP
     """
     if (requests is None) == (workload is None):
         raise ValueError("pass exactly one of requests= or workload=")

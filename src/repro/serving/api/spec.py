@@ -16,6 +16,8 @@ from typing import Mapping
 from ...core.config import CacheGenConfig
 from ...llm.compute_model import A40, GPUSpec
 from ...network.link import NetworkLink
+from ..fleet.autoscale import AutoscaleSpec
+from ..fleet.dispatch import DISPATCH_POLICIES
 
 __all__ = ["ServingSpec", "TOPOLOGIES", "EVICTION_POLICIES", "PLACEMENT_POLICIES"]
 
@@ -67,11 +69,34 @@ class ServingSpec:
     admission_limit:
         Cap on requests in flight inside the event engine (excess arrivals
         queue FIFO).  Load *shedding* policies are pluggable on the driver.
+    gpu_workers:
+        GPU workers behind the event engine's compute stage.  ``1`` (the
+        default) keeps the original single-scheduler path bit-for-bit;
+        ``> 1`` builds a :class:`~repro.serving.fleet.pool.GpuWorkerPool`.
+        Requires ``concurrency > 1`` — a sequential run has no queueing for
+        a fleet to absorb.
+    dispatch_policy:
+        How fleet tasks are routed to workers: ``"least-loaded"``,
+        ``"locality"`` (same-context decodes co-batch on one worker), or
+        ``"sticky"`` (chat sessions pin to a worker).
+    autoscale:
+        Optional :class:`~repro.serving.fleet.autoscale.AutoscaleSpec`; the
+        pool then grows on queue-depth buildup and shrinks after sustained
+        idle, with warm-up modeled in simulated time.
     slo_s / adaptive:
         TTFT SLO reported on runs; ``adaptive`` hands it to each query so the
         streamer's SLO-aware adapter can degrade encoding levels.
     base_quality:
         Optional per-task lossless quality overrides of the quality surrogate.
+
+    Example
+    -------
+    >>> spec = ServingSpec(
+    ...     topology="cluster", num_nodes=4, replication=2,
+    ...     concurrency=8, gpu_workers=2, dispatch_policy="locality",
+    ... )
+    >>> spec.gpu_workers
+    2
     """
 
     model: object = "mistral-7b"
@@ -95,6 +120,9 @@ class ServingSpec:
     max_decode_batch: int = 16
     batch_overhead: float = 0.2
     admission_limit: int | None = None
+    gpu_workers: int = 1
+    dispatch_policy: str = "least-loaded"
+    autoscale: AutoscaleSpec | None = None
     slo_s: float | None = None
     adaptive: bool = True
     gpu: GPUSpec = A40
@@ -165,6 +193,30 @@ class ServingSpec:
             raise ValueError("batch_overhead must be non-negative")
         if self.admission_limit is not None and self.admission_limit <= 0:
             raise ValueError("admission_limit must be positive")
+        if self.gpu_workers < 1:
+            raise ValueError("gpu_workers must be at least 1")
+        if self.dispatch_policy not in DISPATCH_POLICIES:
+            raise ValueError(
+                f"unknown dispatch policy {self.dispatch_policy!r}; "
+                f"expected one of {DISPATCH_POLICIES}"
+            )
+        fleet_engaged = (
+            self.gpu_workers > 1
+            or self.autoscale is not None
+            or self.dispatch_policy != "least-loaded"
+        )
+        if fleet_engaged and self.concurrency == 1:
+            raise ValueError(
+                "fleet serving (gpu_workers/dispatch_policy/autoscale) requires "
+                "concurrency > 1 — a sequential run has no queueing to absorb"
+            )
+        if self.autoscale is not None and not (
+            self.autoscale.min_workers <= self.gpu_workers <= self.autoscale.max_workers
+        ):
+            raise ValueError(
+                f"gpu_workers={self.gpu_workers} outside the autoscale bounds "
+                f"[{self.autoscale.min_workers}, {self.autoscale.max_workers}]"
+            )
         if self.slo_s is not None and self.slo_s <= 0:
             raise ValueError("slo_s must be positive")
         # Codec levels are validated by actually resolving the config once.

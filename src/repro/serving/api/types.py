@@ -46,6 +46,14 @@ class ServeRequest:
 
     ``num_tokens`` is required for contexts that were never ingested (the
     text fallback needs the length); for ingested contexts it is ignored.
+    ``session_id`` marks the request as part of a chat session; the fleet's
+    sticky dispatch keeps a session's GPU work on one worker.
+
+    Example
+    -------
+    >>> request = ServeRequest("doc-1", "what changed?", arrival_s=0.5, session_id="chat-7")
+    >>> request.arrival_s
+    0.5
     """
 
     context_id: str
@@ -54,6 +62,7 @@ class ServeRequest:
     num_tokens: int | None = None
     task: str = "qa_accuracy"
     slo_s: float | None = None
+    session_id: str | None = None
 
     def __post_init__(self) -> None:
         if not self.context_id:
@@ -81,6 +90,11 @@ class ServeResponse(QueryResponse):
     ``ClusterQueryResponse`` (routing fields) and ``ConcurrentQueryResponse``
     (event-schedule fields): both are now thin subclasses of this class, and
     every backend fills the same schema.
+
+    Example
+    -------
+    >>> responses = backend.run()  # doctest: +SKIP
+    >>> responses[0].ttft_s, responses[0].used_kv_cache  # doctest: +SKIP
     """
 
     #: Node that served the KV bitstreams (None for text or single-node runs).
@@ -132,7 +146,13 @@ class ServeResponse(QueryResponse):
 
 @dataclass
 class RunReport:
-    """Aggregate outcome of one serving run, identical across backends."""
+    """Aggregate outcome of one serving run, identical across backends.
+
+    Example
+    -------
+    >>> report = serve(ServingSpec(), requests=requests)  # doctest: +SKIP
+    >>> report.ttft.p50, report.slo_attainment  # doctest: +SKIP
+    """
 
     num_requests: int
     ttft: LatencySummary

@@ -33,6 +33,8 @@ from .simulator import ConcurrentLoadSimulator, RequestTimeline
 
 if TYPE_CHECKING:  # avoid a circular import; the engine is only composed with
     from ..engine import ContextLoadingEngine
+    from ..fleet.autoscale import AutoscaleSpec
+    from ..fleet.dispatch import DispatchPolicy
 
 __all__ = ["ConcurrentQueryResponse", "ConcurrentEngine"]
 
@@ -62,6 +64,7 @@ class _Submission:
     num_tokens: int | None
     task: str
     slo_s: float | None
+    session_id: str | None = None
 
 
 @dataclass
@@ -95,6 +98,12 @@ class ConcurrentEngine:
         duration).
     admission_limit:
         Optional cap on requests in flight; excess arrivals queue FIFO.
+    gpu_workers / dispatch_policy / autoscale:
+        Fleet settings forwarded to the
+        :class:`~repro.serving.concurrent.simulator.ConcurrentLoadSimulator`:
+        the number of GPU workers behind the compute stage, how tasks are
+        routed to them, and the optional
+        :class:`~repro.serving.fleet.autoscale.AutoscaleSpec`.
 
     .. deprecated::
         Direct construction is deprecated; declare a
@@ -108,6 +117,9 @@ class ConcurrentEngine:
         max_decode_batch: int = 16,
         batch_overhead: float = 0.2,
         admission_limit: int | None = None,
+        gpu_workers: int = 1,
+        dispatch_policy: "str | DispatchPolicy" = "least-loaded",
+        autoscale: "AutoscaleSpec | None" = None,
         tracer: Tracer | None = None,
     ) -> None:
         warn_deprecated_entry_point(
@@ -117,8 +129,13 @@ class ConcurrentEngine:
         self.max_decode_batch = max_decode_batch
         self.batch_overhead = batch_overhead
         self.admission_limit = admission_limit
+        self.gpu_workers = gpu_workers
+        self.dispatch_policy = dispatch_policy
+        self.autoscale = autoscale
         self.tracer = tracer
         self._submissions: list[_Submission] = []
+        #: Simulator of the last :meth:`run` (fleet/pool stats live on it).
+        self.last_sim: ConcurrentLoadSimulator | None = None
 
     # ------------------------------------------------------------------ mirror
     def ingest(self, context_id: str, num_tokens: int):
@@ -133,10 +150,17 @@ class ConcurrentEngine:
         num_tokens: int | None = None,
         task: str = "qa_accuracy",
         slo_s: float | None = None,
+        session_id: str | None = None,
     ) -> int:
-        """Stage a query; it is served on the next :meth:`run`."""
+        """Stage a query; it is served on the next :meth:`run`.
+
+        ``session_id`` tags the query as part of a chat session so the
+        fleet's sticky dispatch can keep the session on one GPU worker.
+        """
         self._submissions.append(
-            _Submission(context_id, question, arrival_s, num_tokens, task, slo_s)
+            _Submission(
+                context_id, question, arrival_s, num_tokens, task, slo_s, session_id
+            )
         )
         return len(self._submissions) - 1
 
@@ -172,8 +196,12 @@ class ConcurrentEngine:
             max_decode_batch=self.max_decode_batch,
             batch_overhead=self.batch_overhead,
             admission_limit=self.admission_limit,
+            gpu_workers=self.gpu_workers,
+            dispatch_policy=self.dispatch_policy,
+            autoscale=self.autoscale,
             tracer=tracer,
         )
+        self.last_sim = sim
         if tracer is not None:
             self._label_links(sim)
         resolutions: list[_Resolution | None] = [None] * len(submissions)
@@ -358,6 +386,7 @@ class ConcurrentEngine:
                 slo_s=submission.slo_s,
                 prompt_tokens=prompt_tokens,
                 batch_key=batch_key,
+                session_key=submission.session_id,
                 prologue=prologue,
             )
             return process, link, link.trace.bandwidth_at(0.0)

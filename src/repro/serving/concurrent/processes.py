@@ -61,6 +61,9 @@ class LoadStage:
         the scheduler's business).
     batch_key:
         Decodes sharing a batch key may be coalesced into one launch.
+    session_key:
+        Chat-session identity of the request, used by the fleet's sticky
+        dispatch policy to keep a session on one GPU worker.
     link:
         Optional link override: the transfer runs over this link's FIFO
         channel instead of the request's serving link.  Cold-tier reads use
@@ -73,6 +76,7 @@ class LoadStage:
     gpu_kind: str | None = None
     gpu_s: float = 0.0
     batch_key: str | None = None
+    session_key: str | None = None
     link: NetworkLink | None = None
 
 
@@ -180,6 +184,9 @@ class ChunkedKVLoad:
     batch_key:
         Batching domain of this request's decodes (the serving node id);
         decodes of co-located requests may share one batched launch.
+    session_key:
+        Chat-session identity threaded onto every stage, so sticky fleet
+        dispatch can keep the session's GPU work on one worker.
     prologue:
         Stages issued before the first chunk, bypassing the adaptation
         policy.  A cold-tier hit prepends the serialized tier-link read here.
@@ -193,6 +200,7 @@ class ChunkedKVLoad:
         slo_s: float | None = None,
         prompt_tokens: int = 0,
         batch_key: str | None = None,
+        session_key: str | None = None,
         prologue: Sequence[LoadStage] = (),
     ) -> None:
         if not prepared:
@@ -203,6 +211,7 @@ class ChunkedKVLoad:
         self.slo_s = slo_s
         self.prompt_tokens = prompt_tokens
         self.batch_key = batch_key
+        self.session_key = session_key
         self.decisions: list[StreamDecision] = []
         self._prologue = list(prologue)
         self._position = 0
@@ -238,6 +247,7 @@ class ChunkedKVLoad:
                     gpu_kind=PREFILL,
                     gpu_s=self.compute.prefill_delay(chunk.num_tokens),
                     batch_key=self.batch_key,
+                    session_key=self.session_key,
                 )
             return LoadStage(
                 config=decision.config,
@@ -245,6 +255,7 @@ class ChunkedKVLoad:
                 gpu_kind=DECODE,
                 gpu_s=self.compute.decode_delay(chunk.num_tokens),
                 batch_key=self.batch_key,
+                session_key=self.session_key,
             )
         if self.prompt_tokens > 0 and not self._prompt_issued:
             self._prompt_issued = True

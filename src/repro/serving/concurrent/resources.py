@@ -138,6 +138,10 @@ class GpuTask:
     independent of how many batchmates shared the launch), and everything
     else the task spent between enqueue and completion (run-queue wait plus
     the time riding along in a longer batched launch).
+
+    ``batch_key`` is the batching domain (decodes sharing it may coalesce);
+    ``session_key`` identifies a chat session for sticky fleet dispatch and
+    plays no role on a single scheduler.
     """
 
     request_id: int
@@ -145,6 +149,7 @@ class GpuTask:
     duration_s: float
     on_complete: Callable[[float, float, float], None]
     batch_key: str | None = None
+    session_key: str | None = None
     enqueued_s: float = field(default=0.0, compare=False)
 
 

@@ -25,6 +25,9 @@ from ...network.link import NetworkLink, TransferResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from ...telemetry.trace import Tracer
+    from ..fleet.autoscale import AutoscaleSpec
+    from ..fleet.dispatch import DispatchPolicy
+    from ..fleet.pool import GpuWorkerPool
 from .events import SimClock
 from .processes import TIER_CONFIG, LoadProcess, LoadStage
 from .resources import GpuScheduler, GpuTask, LinkChannel
@@ -149,12 +152,27 @@ class ConcurrentLoadSimulator:
     initial_throughput_bps:
         Throughput assumed for a request's first chunk, before it has measured
         anything (same role as in the single-request streamer).
+    gpu_workers:
+        GPU workers behind the compute stage.  The default of 1 (with the
+        default dispatch and no autoscale) runs the original single
+        :class:`~repro.serving.concurrent.resources.GpuScheduler` path,
+        event-for-event; anything else builds a
+        :class:`~repro.serving.fleet.pool.GpuWorkerPool`.
+    dispatch_policy:
+        Fleet routing: a policy name (``"least-loaded"`` / ``"locality"`` /
+        ``"sticky"``) or a :class:`~repro.serving.fleet.dispatch.DispatchPolicy`
+        instance.  Passing an instance always engages the pool, even for one
+        worker.
+    autoscale:
+        Optional :class:`~repro.serving.fleet.autoscale.AutoscaleSpec`; when
+        set the pool grows/shrinks with load on the simulated clock.
     tracer:
         Optional :class:`~repro.telemetry.trace.Tracer`; when enabled, the
         link channels and the GPU scheduler it builds record per-transfer /
         per-launch spans, queue-depth samples and busy-time counters.  Track
         names come from :attr:`link_labels` (callers map ``id(link)`` to a
-        human-readable label; unlabeled links get ``link-<n>``).
+        human-readable label; unlabeled links get ``link-<n>``).  Fleet runs
+        add per-worker ``gpu:worker-<i>`` swimlanes and a ``gpu-pool`` track.
     """
 
     def __init__(
@@ -163,23 +181,49 @@ class ConcurrentLoadSimulator:
         batch_overhead: float = 0.2,
         admission_limit: int | None = None,
         initial_throughput_bps: float = 3e9,
+        gpu_workers: int = 1,
+        dispatch_policy: "str | DispatchPolicy" = "least-loaded",
+        autoscale: "AutoscaleSpec | None" = None,
         tracer: "Tracer | None" = None,
     ) -> None:
         if admission_limit is not None and admission_limit < 1:
             raise ValueError("admission_limit must be at least 1 (or None)")
         if initial_throughput_bps <= 0:
             raise ValueError("initial_throughput_bps must be positive")
+        if gpu_workers < 1:
+            raise ValueError("gpu_workers must be at least 1")
         self.max_decode_batch = max_decode_batch
         self.batch_overhead = batch_overhead
         self.admission_limit = admission_limit
         self.initial_throughput_bps = initial_throughput_bps
+        self.gpu_workers = gpu_workers
+        self.dispatch_policy = dispatch_policy
+        self.autoscale = autoscale
         self.tracer = tracer
         #: ``id(link)`` → human-readable label used in trace track names.
         self.link_labels: dict[int, str] = {}
         self._pending: list[tuple[float, NetworkLink, LoadProcess, float]] = []
-        #: Resource stats of the last run (for reports and tests).
-        self.gpu: GpuScheduler | None = None
+        #: Resource stats of the last run (for reports and tests).  ``gpu`` is
+        #: the bare scheduler or the worker pool — both expose the same
+        #: aggregate counters; ``pool`` is set only on fleet runs.
+        self.gpu: "GpuScheduler | GpuWorkerPool | None" = None
+        self.pool: "GpuWorkerPool | None" = None
         self.channels: dict[int, LinkChannel] = {}
+
+    @property
+    def _fleet_mode(self) -> bool:
+        """Whether this run needs the worker pool (vs the bare scheduler).
+
+        The bare single-scheduler path is kept — and taken — whenever the
+        fleet settings are all defaults, so existing single-GPU runs stay
+        bit-compatible.  A dispatch-policy *instance* forces the pool even
+        for one worker (used by tests comparing pool-of-1 to bare).
+        """
+        return (
+            self.gpu_workers > 1
+            or self.autoscale is not None
+            or self.dispatch_policy != "least-loaded"
+        )
 
     # ----------------------------------------------------------------- staging
     def add_request(
@@ -211,13 +255,30 @@ class ConcurrentLoadSimulator:
             raise ValueError("no requests to simulate")
         clock = SimClock()
         tracer = self.tracer
-        gpu = GpuScheduler(
-            clock,
-            max_batch_size=self.max_decode_batch,
-            batch_overhead=self.batch_overhead,
-            tracer=tracer,
-            track="gpu",
-        )
+        gpu: "GpuScheduler | GpuWorkerPool"
+        if self._fleet_mode:
+            from ..fleet.pool import GpuWorkerPool
+
+            gpu = GpuWorkerPool(
+                clock,
+                num_workers=self.gpu_workers,
+                max_batch_size=self.max_decode_batch,
+                batch_overhead=self.batch_overhead,
+                dispatch=self.dispatch_policy,
+                autoscale=self.autoscale,
+                tracer=tracer,
+                track_prefix="gpu",
+            )
+            self.pool = gpu
+        else:
+            gpu = GpuScheduler(
+                clock,
+                max_batch_size=self.max_decode_batch,
+                batch_overhead=self.batch_overhead,
+                tracer=tracer,
+                track="gpu",
+            )
+            self.pool = None
         channels: dict[int, LinkChannel] = {}
 
         def link_track(link: NetworkLink) -> str:
@@ -315,6 +376,7 @@ class ConcurrentLoadSimulator:
                         kind=stage.gpu_kind,
                         duration_s=stage.gpu_s,
                         batch_key=stage.batch_key,
+                        session_key=stage.session_key,
                         on_complete=lambda finish_s, busy_s, gpu_wait_s: complete(
                             state,
                             stage,

@@ -85,6 +85,12 @@ class ContextLoadingEngine:
         Direct construction is deprecated; declare a
         :class:`repro.serving.api.ServingSpec` and use
         :func:`repro.serving.api.serve` / ``build_backend`` instead.
+
+    Example
+    -------
+    >>> engine = ContextLoadingEngine("mistral-7b")
+    >>> engine.ingest("doc-1", num_tokens=8_000)  # doctest: +SKIP
+    >>> engine.query("doc-1", "what changed?").ttft.total_s  # doctest: +SKIP
     """
 
     def __init__(

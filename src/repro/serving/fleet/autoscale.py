@@ -1,0 +1,88 @@
+"""Autoscaling of the GPU worker pool from the run's own load signal.
+
+The :class:`AutoscaleSpec` is the declarative half — a frozen, validated
+policy a :class:`~repro.serving.api.ServingSpec` can carry.  The
+:class:`Autoscaler` is the runtime half: it lives inside one
+:class:`~repro.serving.fleet.pool.GpuWorkerPool` run and watches the same
+tumbling-window arrival-rate signal the telemetry layer reports (one window
+of task arrivals per ``window_s`` of simulated time, exactly the
+``arrival_rate_rps`` semantics of
+:class:`~repro.telemetry.timeseries.WindowStats`):
+
+* **scale-up** on queue-depth buildup — when the pending GPU work per active
+  worker crosses ``high_queue_depth``, a new worker is provisioned.  It only
+  starts taking work after ``warmup_s`` of *simulated* time (model loading,
+  CUDA graph capture), so a flash crowd pays the warm-up before relief
+  arrives — exactly the dynamics a wall-clock autoscaler shows.
+* **scale-down** after sustained idle — when every worker has been idle for
+  ``idle_s`` and the current arrival window is quiet, the highest-index idle
+  worker is retired (down to ``min_workers``).  Retirement is graceful: only
+  a worker with an empty run queue is eligible, and sticky sessions pinned
+  to it are re-bound by the dispatch policy on their next task.
+
+Decisions are evaluated on simulation events (task submission, task
+completion, timer expiry), never on wall-clock time, so autoscaled runs stay
+deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AutoscaleSpec"]
+
+
+@dataclass(frozen=True)
+class AutoscaleSpec:
+    """Declarative autoscaling policy of a GPU worker fleet.
+
+    Attributes
+    ----------
+    min_workers / max_workers:
+        Hard bounds of the pool size.  The pool starts at the spec's
+        ``gpu_workers`` and never leaves ``[min_workers, max_workers]``.
+    high_queue_depth:
+        Scale-up watermark: when queued-or-running GPU tasks per *active*
+        worker reach this depth, one more worker is provisioned.
+    idle_s:
+        Sustained-idle horizon: a scale-down fires only after every worker
+        has been idle for this much simulated time.
+    warmup_s:
+        Simulated provisioning delay — a newly added worker accepts work
+        only ``warmup_s`` after the scale-up decision.
+    window_s:
+        Width of the tumbling arrival-rate window the scaler samples (same
+        semantics as the telemetry layer's
+        :attr:`~repro.telemetry.timeseries.WindowStats.arrival_rate_rps`).
+
+    Example
+    -------
+    >>> AutoscaleSpec(min_workers=1, max_workers=4, high_queue_depth=3.0)
+    ... # doctest: +ELLIPSIS
+    AutoscaleSpec(min_workers=1, max_workers=4, ...)
+    """
+
+    min_workers: int = 1
+    max_workers: int = 8
+    high_queue_depth: float = 4.0
+    idle_s: float = 1.0
+    warmup_s: float = 0.5
+    window_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be at least 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be at least min_workers")
+        if self.high_queue_depth <= 0:
+            raise ValueError("high_queue_depth must be positive")
+        if self.idle_s <= 0:
+            raise ValueError("idle_s must be positive")
+        if self.warmup_s < 0:
+            raise ValueError("warmup_s must be non-negative")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+
+    def clamp(self, size: int) -> int:
+        """``size`` clamped into the spec's ``[min_workers, max_workers]``."""
+        return max(self.min_workers, min(size, self.max_workers))

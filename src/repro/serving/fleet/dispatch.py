@@ -1,0 +1,202 @@
+"""Dispatch policies: which GPU worker serves the next task.
+
+A :class:`~repro.serving.fleet.pool.GpuWorkerPool` holds several
+:class:`~repro.serving.concurrent.resources.GpuScheduler` workers; every
+submitted :class:`~repro.serving.concurrent.resources.GpuTask` is routed to
+exactly one of them by a :class:`DispatchPolicy`.  The policy sees the live
+workers (their queue depths included) and must be **deterministic**: given the
+same task stream and worker states it always picks the same worker, so fleet
+simulations replay bit-identically.
+
+Three policies ship with the fleet:
+
+* :class:`LeastLoadedDispatch` — the classic load balancer: the worker with
+  the shallowest run queue wins, ties broken by lowest worker index.
+* :class:`LocalityDispatch` — routes by the task's *batch key* (the serving
+  node of the decode), so decodes of the same context land on the same worker
+  and coalesce into one batched launch there.  Spreading them "fairly" over
+  the pool would destroy continuous batching — a batch of N same-key decodes
+  on one worker finishes earlier than N solo launches on N workers when the
+  queue is deep.
+* :class:`StickyDispatch` — routes by the request's *session key* (a chat
+  session id), falling back to locality for sessionless tasks.  A session
+  keeps hitting the worker that already holds its warm state; when a worker
+  is retired by the autoscaler the policy forgets its bindings and re-pins
+  each affected session on its next task.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..concurrent.resources import GpuScheduler, GpuTask
+
+__all__ = [
+    "DISPATCH_POLICIES",
+    "DispatchPolicy",
+    "LeastLoadedDispatch",
+    "LocalityDispatch",
+    "StickyDispatch",
+    "make_dispatch",
+]
+
+#: Dispatch-policy names a :class:`~repro.serving.api.ServingSpec` may declare.
+DISPATCH_POLICIES = ("least-loaded", "locality", "sticky")
+
+
+@runtime_checkable
+class DispatchPolicy(Protocol):
+    """Picks the worker that serves one GPU task.
+
+    Example
+    -------
+    >>> class FirstWorker:
+    ...     def pick(self, task, workers):
+    ...         return 0
+    ...     def forget_worker(self, worker):
+    ...         pass
+    """
+
+    def pick(self, task: "GpuTask", workers: Sequence["GpuScheduler"]) -> int:
+        """Index (into ``workers``) of the worker that serves ``task``.
+
+        ``workers`` is the pool's *active* worker list, ordered by worker
+        index; implementations must return a valid index deterministically.
+        """
+        ...
+
+    def forget_worker(self, worker: "GpuScheduler") -> None:
+        """Drop any routing state pinned to a retired worker.
+
+        Called by the pool when the autoscaler removes a worker; stateless
+        policies may make this a no-op.
+        """
+        ...
+
+
+def _least_loaded_index(workers: Sequence["GpuScheduler"]) -> int:
+    """The shallowest run queue wins; equal depths go to the lowest index.
+
+    ``min`` scans left to right and only replaces the champion on a strictly
+    smaller key, which *is* the deterministic lowest-index tie-break.
+    """
+    return min(range(len(workers)), key=lambda i: workers[i].queue_depth)
+
+
+class LeastLoadedDispatch:
+    """Route every task to the worker with the shallowest run queue.
+
+    Ties break to the lowest worker index, so a fresh pool fills worker 0
+    first and a replayed task stream routes identically every run.
+
+    Example
+    -------
+    >>> policy = LeastLoadedDispatch()
+    >>> # both workers idle -> deterministic tie-break to index 0
+    >>> # policy.pick(task, [worker_a, worker_b]) == 0
+    """
+
+    def pick(self, task: "GpuTask", workers: Sequence["GpuScheduler"]) -> int:
+        return _least_loaded_index(workers)
+
+    def forget_worker(self, worker: "GpuScheduler") -> None:
+        """Stateless: nothing is pinned to any worker."""
+
+
+class _KeyedDispatch:
+    """Shared machinery of the key-affinity policies.
+
+    Keeps ``key -> worker`` bindings by worker *identity* (not index — the
+    active list shifts when the autoscaler retires a worker).  A key whose
+    worker is gone, or that was never seen, is (re-)bound to the currently
+    least-loaded worker.
+    """
+
+    def __init__(self) -> None:
+        self._bindings: dict[str, GpuScheduler] = {}
+
+    def _pick_for_key(self, key: str | None, workers: Sequence["GpuScheduler"]) -> int:
+        if key is None:
+            return _least_loaded_index(workers)
+        bound = self._bindings.get(key)
+        if bound is not None:
+            for index, worker in enumerate(workers):
+                if worker is bound:
+                    return index
+            # The bound worker was retired between forget_worker and now
+            # (defensive — the pool calls forget_worker first).
+            del self._bindings[key]  # pragma: no cover
+        index = _least_loaded_index(workers)
+        self._bindings[key] = workers[index]
+        return index
+
+    def forget_worker(self, worker: "GpuScheduler") -> None:
+        """Unbind every key pinned to a retired worker (re-pinned on next pick)."""
+        self._bindings = {
+            key: bound for key, bound in self._bindings.items() if bound is not worker
+        }
+
+
+class LocalityDispatch(_KeyedDispatch):
+    """Route by batch key, so same-context decodes co-batch on one worker.
+
+    The first task of a new batch key is placed on the least-loaded worker;
+    every later task with that key follows it there, where the worker's
+    continuous batching coalesces them into shared launches.  Tasks without a
+    batch key (prefills, text fallbacks) go least-loaded.
+
+    Example
+    -------
+    >>> policy = LocalityDispatch()
+    >>> # all decodes of batch_key="node-0" return the same worker index,
+    >>> # so they share batched launches instead of spreading solo.
+    """
+
+    def pick(self, task: "GpuTask", workers: Sequence["GpuScheduler"]) -> int:
+        return self._pick_for_key(task.batch_key, workers)
+
+
+class StickyDispatch(_KeyedDispatch):
+    """Route by session key: a chat session sticks to one worker.
+
+    Session affinity keeps a conversation's decode state warm on one worker.
+    Tasks without a session key fall back to batch-key locality (and then to
+    least-loaded), so mixed workloads still batch well.  When the autoscaler
+    retires a worker, its sessions are forgotten and transparently re-pinned
+    on their next task — sticky sessions survive a scale-down.
+
+    Example
+    -------
+    >>> policy = StickyDispatch()
+    >>> # every task with session_key="chat-42" lands on the same worker
+    >>> # until that worker is retired; then the session re-pins and sticks
+    >>> # to the new worker.
+    """
+
+    def pick(self, task: "GpuTask", workers: Sequence["GpuScheduler"]) -> int:
+        key = task.session_key
+        if key is None:
+            key = task.batch_key
+        return self._pick_for_key(key, workers)
+
+
+def make_dispatch(policy: str | DispatchPolicy) -> DispatchPolicy:
+    """Resolve a policy name (or pass an instance through).
+
+    Example
+    -------
+    >>> make_dispatch("least-loaded")  # doctest: +ELLIPSIS
+    <repro.serving.fleet.dispatch.LeastLoadedDispatch object at ...>
+    """
+    if not isinstance(policy, str):
+        return policy
+    if policy == "least-loaded":
+        return LeastLoadedDispatch()
+    if policy == "locality":
+        return LocalityDispatch()
+    if policy == "sticky":
+        return StickyDispatch()
+    raise ValueError(
+        f"unknown dispatch policy {policy!r}; expected one of {DISPATCH_POLICIES}"
+    )

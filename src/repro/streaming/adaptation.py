@@ -90,6 +90,12 @@ class SLOAwareAdapter:
         quality (smallest), matching the encoder configuration.
     allow_text_fallback:
         Whether the text / recompute configuration is a candidate.
+
+    Example
+    -------
+    >>> adapter = SLOAwareAdapter(["high", "medium", "low"])
+    >>> adapter.decide(chunks, next_index=0, throughput_bps=gbps(1.0),
+    ...                elapsed_s=0.2, slo_s=1.0)  # doctest: +SKIP
     """
 
     level_names: Sequence[str]

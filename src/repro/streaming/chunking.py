@@ -97,6 +97,11 @@ def prepare_chunks(
         chunk length and the set of encoding levels.
     text_bytes_per_token:
         Size of the text fallback per token; defaults to the encoder config.
+
+    Example
+    -------
+    >>> chunks = prepare_chunks(kv, encoder)  # doctest: +SKIP
+    >>> [chunk.num_tokens for chunk in chunks]  # doctest: +SKIP
     """
     cfg = encoder.config
     bytes_per_token = (

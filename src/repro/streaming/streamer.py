@@ -102,6 +102,12 @@ class KVStreamer:
         available.  The paper starts from a default medium encoding level; any
         reasonable prior works because the estimate is corrected after the
         first chunk.
+
+    Example
+    -------
+    >>> streamer = KVStreamer(decoder, compute_model)  # doctest: +SKIP
+    >>> result = streamer.stream(chunks, link, slo_s=1.0)  # doctest: +SKIP
+    >>> result.total_time_s, result.configs  # doctest: +SKIP
     """
 
     def __init__(

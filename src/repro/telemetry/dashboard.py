@@ -12,6 +12,7 @@ be attached to a CI run or mailed around and still render.  Panels:
 * TTFT percentile ribbons (p50/p90/p99 on an ordinal blue ramp) with the SLO
   threshold as a reference line;
 * per-resource utilization lanes (small multiples);
+* GPU pool size — a step lane of active fleet workers (worker-pool runs only);
 * tier hit-ratio stack (hot / cold / miss fractions per window);
 * alert timeline — one row per fired alert with explicit fire/resolve span.
 
@@ -443,6 +444,45 @@ def _utilization_panel(
     return _panel("Utilization", note, *lanes)
 
 
+def _pool_panel(windows: Sequence[WindowStats], duration_s: float) -> str:
+    """GPU fleet size over the run (rendered only for worker-pool runs)."""
+    if all(w.pool_size is None for w in windows):
+        return ""
+    # Forward-fill: between pool-size samples the fleet size is unchanged, so
+    # quiet windows inherit the last known size (and leading windows the first).
+    first = next(w.pool_size for w in windows if w.pool_size is not None)
+    filled: list[float] = []
+    current = first
+    for window in windows:
+        if window.pool_size is not None:
+            current = window.pool_size
+        filled.append(current)
+    peak = max(filled)
+    plot = _Plot(duration_s, _nice_max(peak), 140)
+    plot.chrome(y_ticks=2)
+    steps: list[tuple[float, float]] = []
+    for window, size in zip(windows, filled):
+        steps.append((window.start_s, size))
+        steps.append((window.end_s, size))
+    plot.area(steps, "--s3", opacity=0.15)
+    plot.line(steps, "--s3")
+    plot.hover_columns(
+        windows,
+        [
+            f"window {w.index}: pool size {size:g}"
+            for w, size in zip(windows, filled)
+        ],
+    )
+    return _panel(
+        "GPU pool size",
+        "active GPU workers per window; steps are autoscaler decisions",
+        f'<div data-pool-peak="{peak:g}">'
+        + _legend(("--s3", "line", "active workers"))
+        + plot.svg()
+        + "</div>",
+    )
+
+
 def _tier_panel(windows: Sequence[WindowStats], duration_s: float) -> str:
     plot = _Plot(duration_s, 1.0, 190, y_fmt=lambda v: f"{v:.0%}")
     plot.chrome(y_ticks=2)
@@ -631,7 +671,13 @@ def render_dashboard(
     title: str = "Run dashboard",
     subtitle: str = "",
 ) -> str:
-    """Render one run's window series (+ alerts) as a self-contained page."""
+    """Render one run's window series (+ alerts) as a self-contained page.
+
+    Example
+    -------
+    >>> recorder = TimeSeriesRecorder.from_tracer(tracer, window_s=0.5)  # doctest: +SKIP
+    >>> html = render_dashboard(recorder, title="my run")  # doctest: +SKIP
+    """
     windows = _as_windows(source)
     if not windows:
         return _document(
@@ -656,6 +702,7 @@ def render_dashboard(
         _traffic_panel(windows, duration_s),
         _ttft_panel(windows, duration_s, objectives),
         _utilization_panel(windows, duration_s, tracks),
+        _pool_panel(windows, duration_s),
         _tier_panel(windows, duration_s),
         _alert_panel(alerts, duration_s),
         _table_panel(windows),
@@ -670,7 +717,13 @@ def render_diff_dashboard(
     title: str = "Run comparison",
     subtitle: str = "",
 ) -> str:
-    """Overlay two runs for a before/after comparison."""
+    """Overlay two runs for a before/after comparison.
+
+    Example
+    -------
+    >>> html = render_diff_dashboard(baseline_recorder, candidate_recorder,
+    ...                              labels=("main", "branch"))  # doctest: +SKIP
+    """
     runs = [(labels[0], _as_windows(baseline)), (labels[1], _as_windows(candidate))]
     duration_s = max((w[-1].end_s for _, w in runs if w), default=1.0)
 
@@ -755,7 +808,12 @@ def write_dashboard(
     title: str = "Run dashboard",
     subtitle: str = "",
 ) -> Path:
-    """Render and write the dashboard; returns the written path."""
+    """Render and write the dashboard; returns the written path.
+
+    Example
+    -------
+    >>> write_dashboard("run.html", recorder, objectives=[SLOObjective("ttft", 1.0)])  # doctest: +SKIP
+    """
     path = Path(path)
     path.write_text(
         render_dashboard(

@@ -165,7 +165,14 @@ def to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
 
 
 def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
-    """Write the Perfetto-loadable trace JSON to ``path`` and return it."""
+    """Write the Perfetto-loadable trace JSON to ``path`` and return it.
+
+    Example
+    -------
+    >>> tracer = Tracer()
+    >>> serve(ServingSpec(), requests=requests, tracer=tracer)  # doctest: +SKIP
+    >>> write_chrome_trace(tracer, "trace.json")  # open at ui.perfetto.dev  # doctest: +SKIP
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as handle:
@@ -232,7 +239,12 @@ def iter_jsonl_events(tracer: Tracer) -> Iterator[dict[str, Any]]:
 
 
 def write_jsonl(tracer: Tracer, path: str | Path) -> Path:
-    """Write the structured event log (one JSON object per line)."""
+    """Write the structured event log (one JSON object per line).
+
+    Example
+    -------
+    >>> write_jsonl(tracer, "events.jsonl")  # doctest: +SKIP
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as handle:

@@ -48,7 +48,14 @@ __all__ = [
 
 @dataclass(frozen=True)
 class SLOObjective:
-    """A TTFT latency SLO: ``target`` fraction of requests within ``ttft_s``."""
+    """A TTFT latency SLO: ``target`` fraction of requests within ``ttft_s``.
+
+    Example
+    -------
+    >>> objective = SLOObjective("ttft", ttft_s=1.0, target=0.99)
+    >>> round(objective.error_budget, 3)
+    0.01
+    """
 
     name: str
     ttft_s: float
@@ -365,6 +372,11 @@ class AlertEngine:
     detectors:
         Structural detectors; ``None`` picks :func:`default_detectors`, and
         ``()`` disables them.
+
+    Example
+    -------
+    >>> engine = AlertEngine([SLOObjective("ttft", ttft_s=1.0, target=0.99)])
+    >>> alerts = engine.evaluate(recorder.windows())  # doctest: +SKIP
     """
 
     def __init__(

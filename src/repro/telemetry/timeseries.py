@@ -94,6 +94,9 @@ class WindowStats:
     busy_s: dict[str, float] = field(default_factory=dict)
     #: Peak sampled queue depth per resource track within the window.
     max_queue_depth: dict[str, float] = field(default_factory=dict)
+    #: GPU fleet size at the end of the window (last ``pool_size`` sample;
+    #: ``None`` when the run had no worker pool or the window saw no sample).
+    pool_size: float | None = None
 
     # ------------------------------------------------------------------- rates
     @property
@@ -178,6 +181,8 @@ class WindowStats:
             },
             "max_queue_depth": dict(sorted(self.max_queue_depth.items())),
         }
+        if self.pool_size is not None:
+            out["pool_size"] = self.pool_size
         ranks = percentiles(self.ttft_samples, qs)
         for q, value in zip(qs, ranks):
             out[f"ttft_p{q:g}_s"] = value
@@ -192,6 +197,11 @@ class TimeSeriesRecorder:
     (:meth:`from_run`) or a tracer (:meth:`from_tracer`); then read
     :meth:`windows` (a contiguous series — quiet windows are materialized
     empty, not skipped) and :meth:`totals` (the whole-run recombination).
+
+    Example
+    -------
+    >>> recorder = TimeSeriesRecorder.from_tracer(tracer, window_s=0.5)  # doctest: +SKIP
+    >>> [window.ttft_p95_s for window in recorder.windows()]  # doctest: +SKIP
     """
 
     def __init__(self, window_s: float, *, qs: Sequence[float] = DEFAULT_QS) -> None:
@@ -289,6 +299,12 @@ class TimeSeriesRecorder:
         current = window.max_queue_depth.get(track)
         if current is None or value > current:
             window.max_queue_depth[track] = float(value)
+
+    def record_pool_size(self, at_s: float, value: float) -> None:
+        """One GPU-fleet size sample (samples arrive in time order, so the
+        last one of a window is the size the window ended at)."""
+        window = self._window(self.window_index(at_s))
+        window.pool_size = float(value)
 
     # ----------------------------------------------------------------- queries
     def windows(self) -> list[WindowStats]:
@@ -421,7 +437,11 @@ class TimeSeriesRecorder:
             if span.dur_s > 0 and _is_resource_track(span.track):
                 self.record_busy(span.track, span.start_s, span.dur_s)
         for sample in tracer.samples:
-            if _is_resource_track(sample.track):
+            if sample.name == "pool_size":
+                # Fleet-size counter samples are a series of their own, not a
+                # queue depth of the "gpu-pool" track.
+                self.record_pool_size(sample.at_s, sample.value)
+            elif _is_resource_track(sample.track):
                 self.record_queue_depth(sample.track, sample.at_s, sample.value)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -118,6 +118,12 @@ class Tracer:
     ingest) land at a meaningful point on the timeline.  Inside the event
     simulation, emitters pass explicit times read off the
     :class:`~repro.serving.concurrent.events.SimClock`.
+
+    Example
+    -------
+    >>> tracer = Tracer()
+    >>> report = serve(spec, requests=requests, tracer=tracer)  # doctest: +SKIP
+    >>> tracer.spans_for_request(0)  # doctest: +SKIP
     """
 
     enabled = True
