@@ -5,7 +5,7 @@ from repro.experiments import run_figure16
 
 def test_figure16_qoe(run_experiment):
     result = run_experiment(run_figure16, num_samples=3, bandwidth_gbps=3.0)
-    for sample in {row["sample"] for row in result.rows}:
+    for sample in sorted({row["sample"] for row in result.rows}):
         rows = {r["pipeline"]: r for r in result.filter(sample=sample)}
         assert rows["cachegen"]["mos"] >= rows["quantization"]["mos"]
         assert rows["cachegen"]["mos"] >= rows["original"]["mos"]

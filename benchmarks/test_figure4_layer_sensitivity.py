@@ -5,6 +5,6 @@ from repro.experiments import run_figure4
 
 def test_figure4_layer_sensitivity(run_experiment):
     result = run_experiment(run_figure4, num_contexts=1, context_token_cap=3_000)
-    for model in {row["model"] for row in result.rows}:
+    for model in sorted({row["model"] for row in result.rows}):
         series = [row["accuracy"] for row in result.filter(model=model)]
         assert series[0] < series[-1]

@@ -16,7 +16,7 @@ def test_figure8_ttft(run_experiment):
         quant_bits=(8,),
         context_token_cap=8_000,
     )
-    for model, dataset in {(r["model"], r["dataset"]) for r in result.rows}:
+    for model, dataset in sorted({(r["model"], r["dataset"]) for r in result.rows}):
         rows = {r["method"]: r for r in result.filter(model=model, dataset=dataset)}
         assert rows["cachegen"]["ttft_s"] < rows["quant-8bit"]["ttft_s"]
         assert rows["cachegen"]["ttft_s"] < rows["text"]["ttft_s"]

@@ -37,7 +37,7 @@ def main() -> None:
         f"Ingested {report.num_tokens}-token report into {report.num_chunks} chunks; "
         f"stored {report.total_stored_bytes / 1e6:.1f} MB across "
         f"{len(report.stored_bytes_per_level)} encoding levels "
-        f"(encode took {report.encode_delay_s:.2f}s of wall-clock time)."
+        f"(modeled GPU encode time {report.encode_delay_s:.2f}s)."
     )
 
     # Answer several questions against the same cached context.

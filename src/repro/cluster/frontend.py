@@ -11,7 +11,6 @@ cluster degrades TTFT, never availability.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -216,8 +215,11 @@ class ClusterFrontend(ContextLoadingEngine):
 
     # ------------------------------------------------------------------ ingest
     def ingest(self, context_id: str, num_tokens: int) -> ClusterIngestReport:
-        """Prefill and encode a context once, then replicate the bitstreams."""
-        start = time.perf_counter()
+        """Prefill and encode a context once, then replicate the bitstreams.
+
+        ``encode_delay_s`` is the modeled GPU encode time, not a wall-clock
+        measurement (host time must never leak into the simulated world).
+        """
         kv = self._reference_kv(context_id, num_tokens)
         placement = self.cluster.store_kv(context_id, kv)
         per_level: dict[str, float] = {}
@@ -229,7 +231,7 @@ class ClusterFrontend(ContextLoadingEngine):
             num_tokens=num_tokens,
             num_chunks=placement.stored.num_chunks,
             stored_bytes_per_level=per_level,
-            encode_delay_s=time.perf_counter() - start,
+            encode_delay_s=self._parts.compute.encode_delay(num_tokens),
             replica_node_ids=placement.replica_node_ids,
             replicated_bytes=placement.replicated_bytes,
         )

@@ -73,6 +73,10 @@ class Backend(Protocol):
         """Wire a telemetry tracer through the backend's engines and stores."""
         ...
 
+    def attach_simcheck(self, monitor) -> None:
+        """Wire a simcheck monitor (sanitized clocks) through the backend."""
+        ...
+
     # ------------------------------------------------------------- state taps
     def total_evictions(self) -> int: ...
 
@@ -89,12 +93,17 @@ class _EngineBackend:
     def __init__(self, spec: ServingSpec) -> None:
         self.spec = spec
         self.tracer: Tracer | None = None
+        self.simcheck = None
         self._staged: list[ServeRequest] = []
 
     # --------------------------------------------------------------- telemetry
     def attach_tracer(self, tracer: Tracer | None) -> None:
         """Wire a tracer through the backend (subclasses extend the wiring)."""
         self.tracer = tracer
+
+    def attach_simcheck(self, monitor) -> None:
+        """Record the monitor; event-driven subclasses also take its clocks."""
+        self.simcheck = monitor
 
     def _active_tracer(self) -> Tracer | None:
         tracer = self.tracer
@@ -302,6 +311,10 @@ class ConcurrentBackend(SingleNodeBackend):
         super().attach_tracer(tracer)
         self._concurrent.tracer = tracer
 
+    def attach_simcheck(self, monitor) -> None:
+        super().attach_simcheck(monitor)
+        self._concurrent.clock_factory = monitor.make_clock if monitor else None
+
     def run(self) -> list[ServeResponse]:
         staged = self._take_staged()
         for request in staged:
@@ -387,6 +400,11 @@ class ClusterBackend(_EngineBackend):
             self._trace_store(node.store, tracer, f"storage:{node_id}")
         if self._concurrent is not None:
             self._concurrent.tracer = tracer
+
+    def attach_simcheck(self, monitor) -> None:
+        super().attach_simcheck(monitor)
+        if self._concurrent is not None:
+            self._concurrent.clock_factory = monitor.make_clock if monitor else None
 
     # ---------------------------------------------------------------- topology
     def mark_down(self, node_id: str) -> None:

@@ -168,6 +168,17 @@ class Driver:
         Declarative :class:`~repro.telemetry.slo.SLOObjective` list; the
         report's burn-rate :class:`~repro.telemetry.slo.Alert` objects land in
         ``report.alerts`` (structural detectors run either way).
+    simcheck:
+        Runtime sanitizers (:mod:`repro.simcheck`).  ``True`` or a
+        :class:`~repro.simcheck.sanitizers.SimcheckConfig` enables them for
+        this driver: event clocks are replaced with recording
+        :class:`~repro.simcheck.sanitizers.ClockSanitizer` instances and
+        conservation invariants are validated on the finished run (findings
+        land on ``report.simcheck``; strict configs raise
+        :class:`~repro.simcheck.sanitizers.SimcheckError`).  ``False`` opts
+        out; ``None`` (default) follows the process-wide default
+        (:mod:`repro.simcheck.runtime` — the test-suite fixture and the
+        ``REPRO_SIMCHECK`` environment variable).
 
     Notes
     -----
@@ -198,6 +209,7 @@ class Driver:
         window_s: float | None = None,
         slos: Sequence[SLOObjective] = (),
         alert_rules=None,
+        simcheck=None,
     ) -> None:
         if isinstance(backend, ServingSpec):
             backend = build_backend(backend)
@@ -216,6 +228,7 @@ class Driver:
         self.window_s = window_s
         self.slos = tuple(slos)
         self.alert_rules = alert_rules
+        self.simcheck = simcheck
         if (self.node_failures or self.node_recoveries) and not isinstance(
             backend, ClusterBackend
         ):
@@ -264,6 +277,11 @@ class Driver:
         if callable(reset):
             reset()
         tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
+        monitor = self._simcheck_monitor()
+        if monitor is not None:
+            attach = getattr(backend, "attach_simcheck", None)
+            if callable(attach):
+                attach(monitor)
         evictions_before = backend.total_evictions()
         tier_before = backend.tier_counters()
         # Under capacity pressure an ingest can evict a context a pending
@@ -415,7 +433,32 @@ class Driver:
         )
         if self.tracer is not None:
             report.telemetry = self.tracer
+        if monitor is not None:
+            monitor.finalize(report, backend=backend, tracer=tracer)
         return report
+
+    def _simcheck_monitor(self):
+        """Resolve the ``simcheck=`` setting into a monitor (or ``None``).
+
+        Resolution happens per :meth:`run`, so a driver built before the
+        test-suite fixture enabled the process default still gets sanitized.
+        """
+        setting = self.simcheck
+        if setting is False:
+            return None
+        from ...simcheck.runtime import default_config
+        from ...simcheck.sanitizers import SimcheckConfig, SimcheckMonitor
+
+        if setting is None or setting is True:
+            config = default_config() if setting is None else SimcheckConfig()
+        elif isinstance(setting, SimcheckConfig):
+            config = setting
+        else:
+            raise TypeError(
+                "simcheck must be None, a bool, or a SimcheckConfig; "
+                f"got {setting!r}"
+            )
+        return SimcheckMonitor(config) if config is not None else None
 
     def _reingest_missed(self, responses) -> tuple[int, int, float]:
         """Re-ingest known contexts that degraded to text (capacity churn)."""

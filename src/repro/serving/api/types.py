@@ -197,6 +197,10 @@ class RunReport:
     timeseries: object | None = None
     #: Fired :class:`~repro.telemetry.slo.Alert` objects, ordered by fire time.
     alerts: list = field(default_factory=list)
+    #: Findings of the runtime sanitizers (a
+    #: :class:`~repro.simcheck.sanitizers.SimcheckReport`); ``None`` unless
+    #: the driver ran with ``simcheck=`` enabled.
+    simcheck: object | None = None
 
     # ------------------------------------------------------------------ ratios
     @property

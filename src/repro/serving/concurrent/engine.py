@@ -133,6 +133,9 @@ class ConcurrentEngine:
         self.dispatch_policy = dispatch_policy
         self.autoscale = autoscale
         self.tracer = tracer
+        #: Optional SimClock factory forwarded to each run's simulator; the
+        #: simcheck monitor injects its ClockSanitizer here.
+        self.clock_factory = None
         self._submissions: list[_Submission] = []
         #: Simulator of the last :meth:`run` (fleet/pool stats live on it).
         self.last_sim: ConcurrentLoadSimulator | None = None
@@ -200,6 +203,7 @@ class ConcurrentEngine:
             dispatch_policy=self.dispatch_policy,
             autoscale=self.autoscale,
             tracer=tracer,
+            clock_factory=self.clock_factory,
         )
         self.last_sim = sim
         if tracer is not None:

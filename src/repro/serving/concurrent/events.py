@@ -21,30 +21,45 @@ __all__ = ["SimClock"]
 class SimClock:
     """An event loop over simulated time.
 
-    Events are ``(time, seq, callback)`` triples on a heap; :meth:`run` pops
-    them in order, advances :attr:`now` and invokes the callback.  Callbacks
-    may schedule further events (this is how transfers chain into decodes).
+    Events are ``(time, tie_break, callback)`` triples on a heap; :meth:`run`
+    pops them in order, advances :attr:`now` and invokes the callback.
+    Callbacks may schedule further events (this is how transfers chain into
+    decodes).  The default tie-break is the scheduling sequence number, making
+    same-timestamp event order FIFO and fully deterministic; subclasses (the
+    simcheck race detector) may override :meth:`_tie_break` to perturb it.
     """
 
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, object, Callable[[], None]]] = []
+        #: Number of :meth:`schedule` calls that asked for a time strictly in
+        #: the past and were clamped to ``now``.  A healthy simulation never
+        #: does this; the simcheck sanitizers assert the count stays zero.
+        self.clamped_schedules = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
 
+    def _tie_break(self):
+        """Ordering key among events scheduled for the same timestamp."""
+        seq = self._seq
+        self._seq += 1
+        return seq
+
     def schedule(self, at: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at simulated time ``at`` (clamped to the present).
 
         Scheduling in the past would make time run backwards; such events fire
         "now" instead, preserving monotonicity without hiding caller bugs worse
-        than a clamp would.
+        than a clamp would.  Each clamp increments :attr:`clamped_schedules`.
         """
-        heapq.heappush(self._heap, (max(at, self._now), self._seq, callback))
-        self._seq += 1
+        if at < self._now:
+            self.clamped_schedules += 1
+            at = self._now
+        heapq.heappush(self._heap, (at, self._tie_break(), callback))
 
     def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` seconds from now."""

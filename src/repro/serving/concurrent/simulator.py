@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Deque
+from typing import TYPE_CHECKING, Callable, Deque
 
 from ...network.link import NetworkLink, TransferResult
 
@@ -173,6 +173,11 @@ class ConcurrentLoadSimulator:
         names come from :attr:`link_labels` (callers map ``id(link)`` to a
         human-readable label; unlabeled links get ``link-<n>``).  Fleet runs
         add per-worker ``gpu:worker-<i>`` swimlanes and a ``gpu-pool`` track.
+    clock_factory:
+        Builds the :class:`~repro.serving.concurrent.events.SimClock` for each
+        :meth:`run`.  The simcheck sanitizers inject a
+        :class:`~repro.simcheck.sanitizers.ClockSanitizer` here to record
+        past-time schedules and perturb same-timestamp tie-breaks.
     """
 
     def __init__(
@@ -185,6 +190,7 @@ class ConcurrentLoadSimulator:
         dispatch_policy: "str | DispatchPolicy" = "least-loaded",
         autoscale: "AutoscaleSpec | None" = None,
         tracer: "Tracer | None" = None,
+        clock_factory: "Callable[[], SimClock] | None" = None,
     ) -> None:
         if admission_limit is not None and admission_limit < 1:
             raise ValueError("admission_limit must be at least 1 (or None)")
@@ -200,6 +206,7 @@ class ConcurrentLoadSimulator:
         self.dispatch_policy = dispatch_policy
         self.autoscale = autoscale
         self.tracer = tracer
+        self.clock_factory: "Callable[[], SimClock]" = clock_factory or SimClock
         #: ``id(link)`` → human-readable label used in trace track names.
         self.link_labels: dict[int, str] = {}
         self._pending: list[tuple[float, NetworkLink, LoadProcess, float]] = []
@@ -253,7 +260,7 @@ class ConcurrentLoadSimulator:
         """Simulate all staged requests; returns timelines in staging order."""
         if not self._pending:
             raise ValueError("no requests to simulate")
-        clock = SimClock()
+        clock = self.clock_factory()
         tracer = self.tracer
         gpu: "GpuScheduler | GpuWorkerPool"
         if self._fleet_mode:

@@ -19,7 +19,6 @@ contexts.
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -179,8 +178,13 @@ class ContextLoadingEngine:
 
     # ------------------------------------------------------------------ ingest
     def ingest(self, context_id: str, num_tokens: int) -> IngestReport:
-        """Prefill a context once, encode its KV cache and store the bitstreams."""
-        start = time.perf_counter()
+        """Prefill a context once, encode its KV cache and store the bitstreams.
+
+        ``encode_delay_s`` is the *modeled* GPU encode time
+        (:meth:`~repro.llm.compute_model.ComputeModel.encode_delay`), not a
+        wall-clock measurement: ingest is part of the simulated world, and a
+        host-time read here would leak nondeterminism into traces and reports.
+        """
         kv = self._reference_kv(context_id, num_tokens)
         stored = self._parts.store.store_kv(context_id, kv)
         per_level: dict[str, float] = {}
@@ -192,7 +196,7 @@ class ContextLoadingEngine:
             num_tokens=num_tokens,
             num_chunks=stored.num_chunks,
             stored_bytes_per_level=per_level,
-            encode_delay_s=time.perf_counter() - start,
+            encode_delay_s=self._parts.compute.encode_delay(num_tokens),
         )
 
     # ------------------------------------------------------------------- query

@@ -2,6 +2,12 @@
 
 Fixtures are session-scoped where construction is expensive (synthetic KV
 generation, encoder profiling) so the several hundred tests stay fast.
+
+The serving/cluster/fleet suites additionally run under the simcheck runtime
+sanitizers (see ``pytest_collection_modifyitems``): every driver run in those
+suites gets a recording :class:`~repro.simcheck.sanitizers.ClockSanitizer`
+and strict conservation-invariant checks.  Run the subset alone with
+``pytest -m simcheck``.
 """
 
 from __future__ import annotations
@@ -16,6 +22,37 @@ from repro.network import ConstantTrace, NetworkLink, gbps
 #: Context length used by most tests — small enough to be fast, large enough
 #: to span several anchor groups and more than one streaming chunk.
 TEST_TOKENS = 640
+
+#: Test directories whose runs exercise the event simulation; the simcheck
+#: sanitizers are force-enabled for every test collected under them.
+_SIMCHECK_DIRS = ("tests/serving", "tests/cluster", "tests/simcheck")
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "simcheck: runs with the repro.simcheck runtime sanitizers enabled",
+    )
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    for item in items:
+        path = str(getattr(item, "path", "") or getattr(item, "fspath", ""))
+        normalized = path.replace("\\", "/")
+        if any(directory in normalized for directory in _SIMCHECK_DIRS):
+            item.add_marker(pytest.mark.simcheck)
+
+
+@pytest.fixture(autouse=True)
+def _simcheck_sanitizers(request):
+    """Enable strict runtime sanitizers for tests marked ``simcheck``."""
+    if request.node.get_closest_marker("simcheck") is None:
+        yield
+        return
+    from repro.simcheck.runtime import enabled
+
+    with enabled():
+        yield
 
 
 @pytest.fixture(scope="session")

@@ -96,7 +96,8 @@ class TestEndToEnd:
         upgraded = ServeResponse.upgrade(original, failed_over=True)
         assert upgraded.served_by == original.served_by
         assert upgraded.served_tier == original.served_tier
-        assert upgraded.arrival_s == original.arrival_s
+        # Exact == on purpose: upgrade() must copy the field bit-for-bit.
+        assert upgraded.arrival_s == original.arrival_s  # simcheck: ignore[SIM004]
         assert upgraded.failed_over  # override wins
 
     def test_serve_requires_exactly_one_source(self):

@@ -1,0 +1,433 @@
+"""Rule-by-rule coverage of the simcheck determinism lint."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.simcheck.lint import (
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+
+
+def rules_hit(source: str) -> list[str]:
+    return [v.rule for v in lint_source(textwrap.dedent(source), "snippet.py")]
+
+
+class TestSIM001WallClock:
+    def test_flags_time_module_calls(self):
+        src = """
+            import time
+
+            def now():
+                return time.time() + time.perf_counter() + time.monotonic()
+        """
+        assert rules_hit(src).count("SIM001") == 3
+
+    def test_flags_from_imports_and_datetime(self):
+        src = """
+            from time import perf_counter
+            from datetime import datetime
+
+            def stamp():
+                return perf_counter(), datetime.now(), datetime.utcnow()
+        """
+        assert rules_hit(src).count("SIM001") == 3
+
+    def test_follows_module_aliases(self):
+        src = """
+            import time as walltime
+
+            def now():
+                return walltime.time()
+        """
+        assert "SIM001" in rules_hit(src)
+
+    def test_simulated_clock_passes(self):
+        src = """
+            def now(clock):
+                return clock.now  # simulated time, not host time
+        """
+        assert rules_hit(src) == []
+
+    def test_unrelated_attribute_named_time_passes(self):
+        src = """
+            def f(record):
+                return record.time()  # not the time module
+        """
+        assert rules_hit(src) == []
+
+
+class TestSIM002UnseededRng:
+    def test_flags_global_random_functions(self):
+        src = """
+            import random
+
+            def pick(items):
+                random.shuffle(items)
+                return random.choice(items), random.random()
+        """
+        assert rules_hit(src).count("SIM002") == 3
+
+    def test_flags_unseeded_constructors(self):
+        src = """
+            import random
+            import numpy as np
+
+            def make():
+                return random.Random(), np.random.default_rng()
+        """
+        assert rules_hit(src).count("SIM002") == 2
+
+    def test_flags_legacy_numpy_global_fns(self):
+        src = """
+            import numpy as np
+
+            def noise(n):
+                return np.random.randn(n)
+        """
+        assert "SIM002" in rules_hit(src)
+
+    def test_seeded_generators_pass(self):
+        src = """
+            import random
+            import numpy as np
+
+            def make(seed):
+                return random.Random(seed), np.random.default_rng(1234)
+        """
+        assert rules_hit(src) == []
+
+    def test_injected_rng_method_calls_pass(self):
+        src = """
+            def pick(rng, items):
+                return items[rng.randrange(len(items))]
+        """
+        assert rules_hit(src) == []
+
+
+class TestSIM003SetIteration:
+    def test_flags_for_loop_over_set_literal(self):
+        src = """
+            def schedule(tasks):
+                for task in {"a", "b", "c"}:
+                    tasks.append(task)
+        """
+        assert "SIM003" in rules_hit(src)
+
+    def test_flags_loop_over_set_typed_name(self):
+        src = """
+            def drain(ready: set):
+                for item in ready:
+                    dispatch(item)
+        """
+        assert "SIM003" in rules_hit(src)
+
+    def test_flags_set_assigned_name_and_list_capture(self):
+        src = """
+            def order(nodes):
+                pending = set(nodes)
+                return list(pending)
+        """
+        assert "SIM003" in rules_hit(src)
+
+    def test_flags_self_attribute_annotated_set(self):
+        src = """
+            class Scheduler:
+                def __init__(self):
+                    self._ready: set[str] = set()
+
+                def dispatch(self):
+                    for node in self._ready:
+                        launch(node)
+        """
+        assert "SIM003" in rules_hit(src)
+
+    def test_sorted_consumption_passes(self):
+        src = """
+            def order(nodes):
+                pending = set(nodes)
+                return sorted(pending) + [min(pending), max(pending)]
+        """
+        assert rules_hit(src) == []
+
+    def test_dict_iteration_passes(self):
+        # dicts are insertion-ordered in CPython; only sets are hash-ordered.
+        src = """
+            def drain(queues: dict):
+                for key, queue in queues.items():
+                    flush(queue)
+        """
+        assert rules_hit(src) == []
+
+    def test_membership_test_passes(self):
+        src = """
+            def known(seen: set, item):
+                return item in seen
+        """
+        assert rules_hit(src) == []
+
+
+class TestSIM004TimestampEquality:
+    def test_flags_timestamp_equality(self):
+        src = """
+            def same(a, b):
+                return a.arrival_s == b.finish_s
+        """
+        assert "SIM004" in rules_hit(src)
+
+    def test_flags_not_equal_too(self):
+        src = """
+            def moved(start_s, end_s):
+                return start_s != end_s
+        """
+        assert "SIM004" in rules_hit(src)
+
+    def test_zero_sentinel_passes(self):
+        src = """
+            def unset(finish_s):
+                return finish_s == 0.0 or finish_s == 0
+        """
+        assert rules_hit(src) == []
+
+    def test_none_sentinel_passes(self):
+        src = """
+            def unset(deadline):
+                return deadline == None
+        """
+        assert "SIM004" not in rules_hit(src)
+
+    def test_non_timestamp_names_pass(self):
+        src = """
+            def same(a, b):
+                return a.count == b.count
+        """
+        assert rules_hit(src) == []
+
+
+class TestSIM005MutableDefaults:
+    def test_flags_literal_defaults(self):
+        src = """
+            def collect(item, acc=[]):
+                acc.append(item)
+                return acc
+        """
+        assert "SIM005" in rules_hit(src)
+
+    def test_flags_constructor_defaults_incl_kwonly(self):
+        src = """
+            def collect(item, acc=dict(), *, index=list()):
+                return acc, index
+        """
+        assert rules_hit(src).count("SIM005") == 2
+
+    def test_none_default_passes(self):
+        src = """
+            def collect(item, acc=None):
+                acc = acc if acc is not None else []
+                return acc
+        """
+        assert rules_hit(src) == []
+
+
+class TestSuppression:
+    def test_targeted_ignore_suppresses_only_that_rule(self):
+        src = """
+            import time
+
+            def f():
+                return time.time()  # simcheck: ignore[SIM001]
+        """
+        assert rules_hit(src) == []
+
+    def test_ignore_with_wrong_rule_id_does_not_suppress(self):
+        src = """
+            import time
+
+            def f():
+                return time.time()  # simcheck: ignore[SIM002]
+        """
+        assert "SIM001" in rules_hit(src)
+
+    def test_bare_ignore_suppresses_everything(self):
+        src = """
+            import time
+
+            def f(acc=[]):  # simcheck: ignore
+                return time.time()  # simcheck: ignore
+        """
+        assert rules_hit(src) == []
+
+    def test_multi_rule_ignore(self):
+        src = """
+            import time, random
+
+            def f():
+                return time.time() + random.random()  # simcheck: ignore[SIM001,SIM002]
+        """
+        assert rules_hit(src) == []
+
+
+class TestBaseline:
+    def make_file(self, tmp_path, body):
+        path = tmp_path / "module.py"
+        path.write_text(textwrap.dedent(body), encoding="utf-8")
+        return path
+
+    def test_roundtrip_and_matching(self, tmp_path):
+        source = self.make_file(
+            tmp_path,
+            """
+            import time
+
+            def f():
+                return time.time()
+            """,
+        )
+        violations = lint_paths([source])
+        assert [v.rule for v in violations] == ["SIM001"]
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, violations)
+        baseline = load_baseline(baseline_path)
+        new, stale = apply_baseline(lint_paths([source]), baseline)
+        assert new == [] and stale == []
+
+    def test_new_violation_not_absorbed(self, tmp_path):
+        source = self.make_file(
+            tmp_path,
+            """
+            import time
+
+            def f():
+                return time.time()
+            """,
+        )
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint_paths([source]))
+        source.write_text(
+            source.read_text() + "\n\ndef g():\n    return time.perf_counter()\n"
+        )
+        new, _ = apply_baseline(lint_paths([source]), load_baseline(baseline_path))
+        assert len(new) == 1
+        assert "perf_counter" in new[0].message
+
+    def test_fixed_debt_reported_stale(self, tmp_path):
+        source = self.make_file(
+            tmp_path,
+            """
+            import time
+
+            def f():
+                return time.time()
+            """,
+        )
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint_paths([source]))
+        source.write_text("def f():\n    return 0.0\n")
+        new, stale = apply_baseline(lint_paths([source]), load_baseline(baseline_path))
+        assert new == [] and len(stale) == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_baseline_is_line_number_independent(self, tmp_path):
+        source = self.make_file(
+            tmp_path,
+            """
+            import time
+
+            def f():
+                return time.time()
+            """,
+        )
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint_paths([source]))
+        # Shift the violation down two lines; the fingerprint still matches.
+        source.write_text("# pad\n# pad\n" + source.read_text())
+        new, stale = apply_baseline(lint_paths([source]), load_baseline(baseline_path))
+        assert new == [] and stale == []
+
+
+class TestCli:
+    def run_cli(self, argv, capsys=None):
+        import io
+
+        from repro.simcheck.__main__ import main
+
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        module = tmp_path / "clean.py"
+        module.write_text("def f():\n    return 1\n")
+        code, output = self.run_cli([str(module), "--no-baseline"])
+        assert code == 0
+        assert "clean" in output
+
+    def test_violations_exit_one_with_refresh_help(self, tmp_path):
+        module = tmp_path / "dirty.py"
+        module.write_text("import time\n\ndef f():\n    return time.time()\n")
+        code, output = self.run_cli([str(module), "--no-baseline"])
+        assert code == 1
+        assert "SIM001" in output
+        assert "--write-baseline" in output
+
+    def test_write_then_check_roundtrip(self, tmp_path):
+        module = tmp_path / "dirty.py"
+        module.write_text("import time\n\ndef f():\n    return time.time()\n")
+        baseline = tmp_path / "baseline.json"
+        code, _ = self.run_cli([str(module), "--baseline", str(baseline), "--write-baseline"])
+        assert code == 0
+        assert json.loads(baseline.read_text())["entries"]
+        code, output = self.run_cli([str(module), "--baseline", str(baseline)])
+        assert code == 0
+        assert "baseline-matched" in output
+
+    def test_select_restricts_rules(self, tmp_path):
+        module = tmp_path / "dirty.py"
+        module.write_text("import time\n\ndef f(acc=[]):\n    return time.time()\n")
+        code, output = self.run_cli([str(module), "--no-baseline", "--select", "SIM005"])
+        assert code == 1
+        assert "SIM005" in output and "SIM001" not in output
+
+    def test_list_rules(self):
+        code, output = self.run_cli(["--list-rules"])
+        assert code == 0
+        for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
+            assert rule_id in output
+
+
+class TestRepositoryIsClean:
+    def test_src_repro_lints_clean_against_committed_baseline(self):
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        violations = lint_paths([repo / "src" / "repro"])
+        baseline = load_baseline(repo / "simcheck-baseline.json")
+        new, _ = apply_baseline(violations, baseline)
+        assert new == [], "\n".join(v.format() for v in new)
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        module = tmp_path / "broken.py"
+        module.write_text("def f(:\n")
+        violations = lint_paths([module])
+        assert [v.rule for v in violations] == ["SIM000"]
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "x = 1\n",
+        "def f(clock):\n    return clock.now\n",
+        "import numpy as np\n\nrng = np.random.default_rng(7)\n",
+    ],
+)
+def test_clean_snippets_have_no_findings(source):
+    assert lint_source(source, "ok.py") == []

@@ -83,7 +83,13 @@ class TestTracedConcurrentRun:
         slowest = max(report.responses, key=lambda r: r.ttft_s)
         fastest = min(report.responses, key=lambda r: r.ttft_s)
         assert slowest.ttft.queueing_s > fastest.ttft.queueing_s
-        root = next(r for r in request_roots(tracer) if r.start_s == slowest.arrival_s)
+        # Exact == on purpose: the root span's start is *copied* from the
+        # arrival, so lookup by equality is the invariant under test.
+        root = next(
+            r
+            for r in request_roots(tracer)
+            if r.start_s == slowest.arrival_s  # simcheck: ignore[SIM004]
+        )
         waits = [c for c in root.children if c.category == QUEUEING]
         assert waits, "the slowest request must show explicit wait spans"
         assert {c.name for c in waits} <= {"admission wait", "link wait", "gpu wait"}
