@@ -22,6 +22,11 @@ Public entry points
   observability: windowed time-series on every ``RunReport``
   (``report.timeseries``), burn-rate SLO alerting (``report.alerts``), and a
   self-contained HTML run dashboard.
+* :class:`repro.FaultSchedule` / :class:`repro.ResiliencePolicy` — fault
+  injection and self-healing: deterministic simulated-time fault schedules
+  (``serve(..., faults=...)``) answered by retries, hedged reads, circuit
+  breakers, background re-replication and graceful degradation, reported on
+  ``report.resilience``.
 * :class:`repro.GpuWorkerPool` / :class:`repro.AutoscaleSpec` — multi-GPU
   fleet serving: set ``gpu_workers`` / ``dispatch_policy`` / ``autoscale`` on
   the spec and the event engine dispatches across a pool of GPU workers.
@@ -37,6 +42,18 @@ shims over the same machinery.
 
 from .cluster import ClusterFrontend, ClusterSimulator, WorkloadGenerator
 from .core import CacheGenConfig, CacheGenDecoder, CacheGenEncoder, EncodingLevel, KVCache
+from .faults import (
+    BreakerPolicy,
+    Corruption,
+    FaultSchedule,
+    GpuStraggler,
+    HedgePolicy,
+    LinkDegradation,
+    NodeCrash,
+    ResiliencePolicy,
+    ResilienceReport,
+    RetryPolicy,
+)
 from .llm import ComputeModel, ModelConfig, QualityModel, SyntheticLLM, get_model_config
 from .network import ConstantTrace, NetworkLink, RandomTrace, StepTrace, gbps
 from .serving import (
@@ -74,6 +91,7 @@ __version__ = "1.1.0"
 __all__ = [
     "AlertEngine",
     "AutoscaleSpec",
+    "BreakerPolicy",
     "CacheGenConfig",
     "CacheGenDecoder",
     "CacheGenEncoder",
@@ -82,18 +100,27 @@ __all__ = [
     "ComputeModel",
     "ConstantTrace",
     "ContextLoadingEngine",
+    "Corruption",
     "DispatchPolicy",
     "Driver",
     "EncodingLevel",
+    "FaultSchedule",
+    "GpuStraggler",
     "GpuWorkerPool",
+    "HedgePolicy",
     "KVCache",
     "KVStreamer",
     "LeastLoadedDispatch",
+    "LinkDegradation",
     "LocalityDispatch",
     "ModelConfig",
     "NetworkLink",
+    "NodeCrash",
     "QualityModel",
     "RandomTrace",
+    "ResiliencePolicy",
+    "ResilienceReport",
+    "RetryPolicy",
     "RunReport",
     "SLOAwareAdapter",
     "SLOObjective",

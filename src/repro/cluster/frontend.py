@@ -57,6 +57,10 @@ def _as_cluster_response(
     attempted: tuple[str, ...] = (),
     served_tier: str | None = None,
     tier_transfer_s: float = 0.0,
+    degraded: bool = False,
+    degrade_cause: str | None = None,
+    retries: int = 0,
+    hedged: bool = False,
 ) -> ClusterQueryResponse:
     return ClusterQueryResponse.upgrade(
         response,
@@ -65,6 +69,10 @@ def _as_cluster_response(
         attempted_node_ids=attempted,
         served_tier=served_tier,
         tier_transfer_s=tier_transfer_s,
+        degraded=degraded,
+        degrade_cause=degrade_cause,
+        retries=retries,
+        hedged=hedged,
     )
 
 
@@ -266,11 +274,14 @@ class ClusterFrontend(ContextLoadingEngine):
                 tier_transfer_s = node.cold_read_delay_s(
                     stored.total_bytes(level_name)
                 )
+            # Resilience delays (timeouts + backoff, hedge wait) serialize
+            # ahead of streaming exactly like the cold-tier read does.
+            kv_extra_s = tier_transfer_s + lookup.extra_delay_s
             if not self._prefer_text_path(
                 stored.num_tokens,
                 kv_link=node.link,
                 text_link=self.link,
-                kv_extra_s=tier_transfer_s,
+                kv_extra_s=kv_extra_s,
             ):
                 response = self._query_with_kv(
                     stored,
@@ -279,7 +290,8 @@ class ClusterFrontend(ContextLoadingEngine):
                     task,
                     slo_s,
                     link=node.link,
-                    extra_network_s=tier_transfer_s,
+                    extra_network_s=kv_extra_s,
+                    level_override=lookup.level_override,
                 )
                 node.record_hit(response.transmitted_bytes, tier=lookup.tier or "hot")
                 return _as_cluster_response(
@@ -289,11 +301,19 @@ class ClusterFrontend(ContextLoadingEngine):
                     attempted=lookup.attempted_node_ids,
                     served_tier=lookup.tier,
                     tier_transfer_s=tier_transfer_s,
+                    degraded=lookup.degraded,
+                    degrade_cause=lookup.cause if lookup.degraded else None,
+                    retries=lookup.retries,
+                    hedged=lookup.hedged,
                 )
             # Short context: the text path wins even though the replica holds
             # the cache — not a miss, the node just is not asked to serve.
             num_tokens = stored.num_tokens
 
+        # A text fallback of a context the cluster once held is a *degraded*
+        # answer (the short-context preference above is not: the text path
+        # simply wins there).  The cause rides on the lookup.
+        known = self.cluster.known_tokens(context_id) is not None
         if num_tokens is None:
             num_tokens = self.cluster.known_tokens(context_id)
         if num_tokens is None:
@@ -303,6 +323,12 @@ class ClusterFrontend(ContextLoadingEngine):
         response = self._query_with_text(
             context_id, question, num_tokens, prompt_tokens, task
         )
+        degraded = known and not lookup.found
         return _as_cluster_response(
-            response, served_by=None, attempted=lookup.attempted_node_ids
+            response,
+            served_by=None,
+            attempted=lookup.attempted_node_ids,
+            degraded=degraded,
+            degrade_cause=(lookup.cause or "evicted") if degraded else None,
+            retries=lookup.retries,
         )

@@ -79,6 +79,17 @@ class StorageNode:
         """
         return (1 + self.queue_depth) * self.link.estimate_transfer_time(num_bytes)
 
+    def intrinsic_service_s(self, num_bytes: float) -> float:
+        """Modeled time to serve ``num_bytes`` from here, queue excluded.
+
+        The queue-free link transfer estimate — a calibrated latency rather
+        than the relative ranking cost of :meth:`estimated_service_s`, so it
+        is the one resilience timeouts and hedge delays compare against
+        (local backlog is already paid as simulated queueing, not a sign the
+        replica itself is slow).
+        """
+        return self.link.estimate_transfer_time(num_bytes)
+
     # ------------------------------------------------------------------- tiers
     @property
     def tiered(self) -> bool:

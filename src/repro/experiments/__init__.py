@@ -24,6 +24,7 @@ from .figure15 import run_figure15
 from .figure16 import run_figure16
 from .figure18 import run_figure18
 from .figure19 import run_figure19
+from .resilience import run_resilience
 from .table1 import run_table1
 from .table2 import run_table2
 from .tiered_storage import run_tiered_storage
@@ -50,6 +51,7 @@ ALL_EXPERIMENTS = {
     "figure19": run_figure19,
     "appendix-e": run_appendix_e,
     "tiered-storage": run_tiered_storage,
+    "resilience": run_resilience,
 }
 
 __all__ = [
@@ -75,6 +77,7 @@ __all__ = [
     "run_figure7",
     "run_figure8",
     "run_figure9",
+    "run_resilience",
     "run_table1",
     "run_table2",
     "run_tiered_storage",

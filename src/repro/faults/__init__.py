@@ -1,0 +1,53 @@
+"""Deterministic fault injection and self-healing serving.
+
+Declare *what goes wrong* with a :class:`FaultSchedule` (node crashes, link
+degradation and flapping, straggler GPUs, corrupted replicas — all on the
+simulated clock), thread it through ``Driver(faults=...)``, and configure *how
+the system answers* with a :class:`ResiliencePolicy` on the serving spec
+(retries with seeded-jitter backoff, hedged replica reads, per-node circuit
+breakers, background re-replication, graceful degradation).  The run's
+:class:`ResilienceReport` rides on ``RunReport.resilience``.
+"""
+
+from .injector import FaultInjector, ScaledTrace
+from .resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    FaultOutcome,
+    HedgePolicy,
+    ReadOutcome,
+    ResilienceManager,
+    ResiliencePolicy,
+    ResilienceReport,
+    RetryPolicy,
+)
+from .schedule import (
+    Corruption,
+    FaultEvent,
+    FaultSchedule,
+    FaultSpec,
+    GpuStraggler,
+    LinkDegradation,
+    NodeCrash,
+)
+
+__all__ = [
+    "NodeCrash",
+    "LinkDegradation",
+    "GpuStraggler",
+    "Corruption",
+    "FaultSpec",
+    "FaultEvent",
+    "FaultSchedule",
+    "RetryPolicy",
+    "HedgePolicy",
+    "BreakerPolicy",
+    "ResiliencePolicy",
+    "CircuitBreaker",
+    "ReadOutcome",
+    "FaultOutcome",
+    "ResilienceReport",
+    "ResilienceManager",
+    "FaultInjector",
+    "ScaledTrace",
+]

@@ -90,6 +90,10 @@ class _EngineBackend:
 
     spec: ServingSpec
 
+    #: The run's :class:`~repro.faults.ResilienceManager` (``None`` unless the
+    #: spec carries a resilience policy or the driver injects faults).
+    resilience = None
+
     def __init__(self, spec: ServingSpec) -> None:
         self.spec = spec
         self.tracer: Tracer | None = None
@@ -137,10 +141,14 @@ class _EngineBackend:
         response; ``extra_fn`` may derive additional unified fields from it.
         """
         tracer = self._active_tracer()
+        resilience = self.resilience
         order = sorted(range(len(staged)), key=lambda i: (staged[i].arrival_s, i))
         responses: list[ServeResponse | None] = [None] * len(staged)
         for i in order:
             request = staged[i]
+            if resilience is not None:
+                # Breaker timers and repair queues run on arrival time.
+                resilience.now = max(resilience.now, request.arrival_s)
             if tracer is not None:
                 tracer.advance_to(request.arrival_s)
             response = query_fn(request)
@@ -256,6 +264,14 @@ class SingleNodeBackend(_EngineBackend):
     def ingest(self, context_id: str, num_tokens: int) -> IngestReport:
         return self.engine.ingest(context_id, num_tokens)
 
+    # ---------------------------------------------------------------- topology
+    def mark_down(self, node_id: str | None = None) -> None:
+        """Crash the node: its store goes dark, queries degrade to text."""
+        self.engine.store_up = False
+
+    def mark_up(self, node_id: str | None = None) -> None:
+        self.engine.store_up = True
+
     def run(self) -> list[ServeResponse]:
         from ...storage.tiered import HOT
 
@@ -268,13 +284,16 @@ class SingleNodeBackend(_EngineBackend):
                 slo_s=request.slo_s,
             )
 
-        return self._serve_sequential(
-            self._take_staged(),
-            query,
-            lambda response: {
-                "served_tier": HOT if response.used_kv_cache else None
-            },
-        )
+        def extras(response):
+            out = {"served_tier": HOT if response.used_kv_cache else None}
+            if not self.engine.store_up and response.context_id in self.engine.store:
+                # The store holds the context but the node is down: this text
+                # answer is a degraded one, not a plain miss.
+                out["degraded"] = True
+                out["degrade_cause"] = "node_down"
+            return out
+
+        return self._serve_sequential(self._take_staged(), query, extras)
 
     # ------------------------------------------------------------- state taps
     def total_evictions(self) -> int:
@@ -376,6 +395,11 @@ class ClusterBackend(_EngineBackend):
                     ),
                 )
         self.frontend = frontend
+        if spec.resilience is not None:
+            from ...faults.resilience import ResilienceManager
+
+            self.resilience = ResilienceManager(spec.resilience)
+            self.frontend.cluster.resilience = self.resilience
         self._concurrent = None
         if spec.concurrency > 1:
             from ..concurrent.engine import ConcurrentEngine

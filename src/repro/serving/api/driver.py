@@ -22,8 +22,10 @@ at that point in the arrival stream.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Mapping, Protocol, Sequence
 
+from ...faults import FaultInjector, FaultSchedule, ResilienceManager, ResilienceReport
 from ...storage.kv_store import CapacityError
 from ...telemetry.slo import SLOObjective
 from ...telemetry.trace import Tracer
@@ -150,8 +152,18 @@ class Driver:
         replica lost it, so placement keeps following popularity across
         :meth:`run` calls.
     node_failures / node_recoveries:
-        Request index -> node id, applied at that arrival (cluster backends
-        only).  Each event closes the current simulation segment.
+        Request index -> node id, applied at that arrival.  Each event closes
+        the current simulation segment.  On single-node backends the node id
+        is ignored — the one store goes dark (queries degrade to text).
+    faults:
+        Optional :class:`~repro.faults.FaultSchedule`.  Its compiled events
+        (node crashes, link degradation, straggler GPUs, corrupted replicas)
+        are applied on the simulated clock: at the first arrival past an
+        event's time the driver closes the current segment and mutates the
+        backend in place.  Fault and recovery instants land on the tracer's
+        ``"faults"`` track, per-fault MTTR and the resilience counters ride
+        on ``report.resilience``.  ``None`` (default) keeps the fault-free
+        fast path byte-identical.
     max_batch:
         Optional cap on requests per simulation segment.  ``None`` (default)
         runs the whole stream as one continuous open-loop simulation.
@@ -204,6 +216,7 @@ class Driver:
         reingest_on_miss: bool = True,
         node_failures: Mapping[int, str] | None = None,
         node_recoveries: Mapping[int, str] | None = None,
+        faults: FaultSchedule | None = None,
         max_batch: int | None = None,
         tracer: Tracer | None = None,
         window_s: float | None = None,
@@ -224,15 +237,18 @@ class Driver:
         self.reingest_on_miss = reingest_on_miss
         self.node_failures = dict(node_failures or {})
         self.node_recoveries = dict(node_recoveries or {})
+        if faults is not None and not isinstance(faults, FaultSchedule):
+            raise TypeError("faults must be a FaultSchedule (or None)")
+        self.faults = faults
         self.max_batch = max_batch
         self.window_s = window_s
         self.slos = tuple(slos)
         self.alert_rules = alert_rules
         self.simcheck = simcheck
-        if (self.node_failures or self.node_recoveries) and not isinstance(
-            backend, ClusterBackend
+        if (self.node_failures or self.node_recoveries) and not hasattr(
+            backend, "mark_down"
         ):
-            raise ValueError("topology events require a cluster backend")
+            raise ValueError("topology events require a backend with mark_down/mark_up")
         #: Contexts ever ingested — persists across run() calls.
         self._known: set[str] = set()
         self._known_tokens: dict[str, int] = {}
@@ -290,6 +306,28 @@ class Driver:
         # grow, so there the whole stream stays one continuous simulation.
         ingest_is_barrier = backend.spec.max_bytes_per_node is not None
 
+        cluster = getattr(getattr(backend, "frontend", None), "cluster", None)
+        manager: ResilienceManager | None = backend.resilience
+        injector: FaultInjector | None = None
+        if self.faults is not None:
+            if manager is None:
+                # A schedule without a spec-level policy still needs fault
+                # bookkeeping (MTTR, corruption clears): a bare manager.
+                manager = ResilienceManager(None, seed=self.faults.seed)
+                backend.resilience = manager
+                if cluster is not None and cluster.resilience is None:
+                    cluster.resilience = manager
+            injector = FaultInjector(self.faults, backend, manager, tracer=tracer)
+        counters_before = manager.counters() if manager is not None else None
+        repair_enabled = (
+            manager is not None
+            and cluster is not None
+            and manager.policy is not None
+            and manager.policy.repair
+        )
+        segment_boundaries: list[int] = []
+        segment_times: list[float] = []
+
         ingests = 0
         failed_ingests = 0
         replication_bytes = 0.0
@@ -322,8 +360,27 @@ class Driver:
         for index, request in enumerate(requests):
             if tracer is not None:
                 tracer.advance_to(request.arrival_s)
-            if index in self.node_failures or index in self.node_recoveries:
+            if manager is not None:
+                # Breaker timers, the hedge window and the repair queue all
+                # run on arrival time; repairs become readable here.
+                manager.now = max(manager.now, request.arrival_s)
+                if repair_enabled:
+                    manager.sweep(cluster, request.arrival_s, tracer)
+            fault_due = injector is not None and injector.due(request.arrival_s)
+            if fault_due or index in self.node_failures or index in self.node_recoveries:
                 flush()
+                if not segment_boundaries:
+                    warnings.warn(
+                        "a topology/fault event closes the current simulation "
+                        "segment: queued link and GPU backlog does not carry "
+                        "across the boundary (indices are recorded on "
+                        "RunReport.segment_boundaries)",
+                        stacklevel=2,
+                    )
+                segment_boundaries.append(index)
+                segment_times.append(request.arrival_s)
+                if fault_due:
+                    injector.apply_due(request.arrival_s)
                 if index in self.node_failures:
                     backend.mark_down(self.node_failures[index])
                     if tracer is not None:
@@ -400,6 +457,13 @@ class Driver:
                 flush()
         flush()
 
+        if injector is not None:
+            # Events past the last arrival still happen (and clear MTTR).
+            injector.drain()
+        if manager is not None and cluster is not None:
+            manager.drain(cluster, manager.now, tracer)
+        fault_outcomes = injector.finalize() if injector is not None else ()
+
         if self.reingest_on_miss:
             ingests_, failed_, bytes_ = self._reingest_missed(responses)
             ingests += ingests_
@@ -431,6 +495,19 @@ class Driver:
             objectives=self.slos,
             alert_rules=self.alert_rules,
         )
+        report.segment_boundaries = tuple(segment_boundaries)
+        report.segment_boundary_times_s = tuple(segment_times)
+        if manager is not None:
+            counts = manager.counters()
+            report.resilience = ResilienceReport(
+                offered=len(requests),
+                served=len(responses),
+                degraded=report.degraded,
+                shed=shed,
+                failed=hard_failures,
+                faults=fault_outcomes,
+                **{key: counts[key] - counters_before[key] for key in counts},
+            )
         if self.tracer is not None:
             report.telemetry = self.tracer
         if monitor is not None:

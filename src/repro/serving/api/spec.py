@@ -86,6 +86,13 @@ class ServingSpec:
     slo_s / adaptive:
         TTFT SLO reported on runs; ``adaptive`` hands it to each query so the
         streamer's SLO-aware adapter can degrade encoding levels.
+    resilience:
+        Optional :class:`~repro.faults.ResiliencePolicy` enabling the
+        self-healing layer on cluster reads: retries with seeded-jitter
+        backoff, hedged replica reads, per-node circuit breakers, background
+        re-replication, graceful degradation.  Cluster topologies only (a
+        single node has no replicas to retry against); ``None`` (the
+        default) keeps the fault-free fast path byte-identical.
     base_quality:
         Optional per-task lossless quality overrides of the quality surrogate.
 
@@ -127,6 +134,7 @@ class ServingSpec:
     adaptive: bool = True
     gpu: GPUSpec = A40
     base_quality: Mapping[str, float] | None = None
+    resilience: object | None = None
 
     # -------------------------------------------------------------- validation
     def __post_init__(self) -> None:
@@ -219,6 +227,16 @@ class ServingSpec:
             )
         if self.slo_s is not None and self.slo_s <= 0:
             raise ValueError("slo_s must be positive")
+        if self.resilience is not None:
+            from ...faults.resilience import ResiliencePolicy
+
+            if not isinstance(self.resilience, ResiliencePolicy):
+                raise TypeError("resilience must be a ResiliencePolicy (or None)")
+            if self.topology == "single":
+                raise ValueError(
+                    "resilience policies act on cluster replica reads; "
+                    "the single topology has no replicas to retry against"
+                )
         # Codec levels are validated by actually resolving the config once.
         self.resolved_config()
 

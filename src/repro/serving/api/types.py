@@ -111,6 +111,16 @@ class ServeResponse(QueryResponse):
     served_tier: str | None = None
     #: Serialized cold-tier read time inside the TTFT's transfer component.
     tier_transfer_s: float = 0.0
+    #: The request was answered off the degraded path: text re-prefill of a
+    #: known-but-unreachable context, or a retry-exhausted read at a cheaper
+    #: codec level.  (The §7.3 short-context text preference is NOT degraded.)
+    degraded: bool = False
+    #: Why the response degraded ("node_down", "corruption", "timeout", ...).
+    degrade_cause: str | None = None
+    #: Retry attempts the replica read consumed before serving.
+    retries: int = 0
+    #: A hedged read was launched for this request.
+    hedged: bool = False
 
     @property
     def queueing_s(self) -> float:
@@ -137,6 +147,10 @@ class ServeResponse(QueryResponse):
             "finish_s",
             "served_tier",
             "tier_transfer_s",
+            "degraded",
+            "degrade_cause",
+            "retries",
+            "hedged",
         ):
             if hasattr(response, name):
                 values[name] = getattr(response, name)
@@ -201,6 +215,22 @@ class RunReport:
     #: :class:`~repro.simcheck.sanitizers.SimcheckReport`); ``None`` unless
     #: the driver ran with ``simcheck=`` enabled.
     simcheck: object | None = None
+    #: Responses served off the degraded path (cheaper level / forced text).
+    degraded: int = 0
+    #: Text fallbacks of *known* contexts by cause ("node_down", "corruption",
+    #: "timeout", "evicted"); the §7.3 short-context preference not included.
+    fallback_causes: dict = field(default_factory=dict)
+    #: Request indices where the driver closed a simulation segment (topology
+    #: or fault events).  Queueing state resets at each boundary — exclude
+    #: windows spanning one from fine-grained latency analysis.
+    segment_boundaries: tuple = ()
+    #: Simulated-clock instants of those boundaries (same order).  Resource
+    #: spans from before a boundary may overlap spans after it — backlog does
+    #: not carry across segments — so span-level checks partition here.
+    segment_boundary_times_s: tuple = ()
+    #: :class:`~repro.faults.resilience.ResilienceReport` of a faulted (or
+    #: resilience-enabled) run; ``None`` otherwise.
+    resilience: object | None = None
 
     # ------------------------------------------------------------------ ratios
     @property
@@ -260,6 +290,12 @@ class RunReport:
         ttfts = [r.ttft_s for r in responses]
         kv_served = sum(1 for r in responses if r.used_kv_cache)
         text_served = len(responses) - kv_served
+        degraded = sum(1 for r in responses if getattr(r, "degraded", False))
+        fallback_causes: dict[str, int] = {}
+        for r in responses:
+            cause = getattr(r, "degrade_cause", None)
+            if cause is not None:
+                fallback_causes[cause] = fallback_causes.get(cause, 0) + 1
         hot_served = sum(1 for r in responses if r.served_tier == HOT)
         cold_served = sum(1 for r in responses if r.served_tier == COLD)
         tier = tier or TierState(0, 0, 0.0, 0.0)
@@ -320,6 +356,8 @@ class RunReport:
             responses=responses,
             node_summaries=list(node_summaries),
             spec=spec,
+            degraded=degraded,
+            fallback_causes=fallback_causes,
         )
 
     @staticmethod
@@ -367,11 +405,25 @@ class RunReport:
                 f"cost              ${self.storage_cost_usd_per_month:.4f}/month stored, "
                 f"${self.cost_usd_per_request:.6f}/request"
             )
+        if self.degraded or self.fallback_causes:
+            causes = ", ".join(
+                f"{cause}={count}"
+                for cause, count in sorted(self.fallback_causes.items())
+            )
+            lines.append(
+                f"degraded          {self.degraded}"
+                + (f" (causes: {causes})" if causes else "")
+            )
+        if self.segment_boundaries:
+            boundaries = ", ".join(str(index) for index in self.segment_boundaries)
+            lines.append(f"segments          reset at request indices {boundaries}")
         if self.slo_s is not None and self.slo_attainment is not None:
             lines.append(
                 f"SLO               {self.slo_attainment * 100.0:.1f}% "
                 f"within {self.slo_s:.2f}s"
             )
+        if self.resilience is not None:
+            lines.append(self.resilience.format_table())
         if self.timeseries is not None:
             windows = self.timeseries.windows()
             if windows:

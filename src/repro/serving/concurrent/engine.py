@@ -80,6 +80,15 @@ class _Resolution:
     attempted: tuple[str, ...] = ()
     #: Tier the replica held the context in when routing was decided.
     tier: str | None = None
+    #: Resilience outcome of the lookup (see ``cluster.sharded_store.Lookup``).
+    degraded: bool = False
+    cause: str | None = None
+    retries: int = 0
+    hedged: bool = False
+    #: Modeled retry/hedge delay charged as link occupancy before streaming.
+    extra_delay_s: float = 0.0
+    #: Codec level a degraded read streams at (``None`` = policy default).
+    level_override: str | None = None
 
 
 class ConcurrentEngine:
@@ -214,11 +223,17 @@ class ConcurrentEngine:
             arrival_order = sorted(
                 range(len(submissions)), key=lambda i: (submissions[i].arrival_s, i)
             )
+            resilience = getattr(
+                getattr(self.engine, "cluster", None), "resilience", None
+            )
             for i in arrival_order:
                 if tracer is not None:
                     # Routing-time events (lookup failovers, promotion on a
                     # cold hit) land at the request's arrival on the timeline.
                     tracer.advance_to(submissions[i].arrival_s)
+                if resilience is not None:
+                    # Breaker timers and hedge stats run on arrival time.
+                    resilience.now = max(resilience.now, submissions[i].arrival_s)
                 resolution = self._resolve(submissions[i])
                 resolutions[i] = resolution
                 if resolution.node is not None and resolution.use_kv:
@@ -312,9 +327,13 @@ class ConcurrentEngine:
         num_tokens = submission.num_tokens
 
         attempted: tuple[str, ...] = ()
+        degraded = False
+        cause: str | None = None
+        retries = 0
         if cluster is not None:
             lookup = cluster.locate(submission.context_id)
             attempted = lookup.attempted_node_ids
+            retries = lookup.retries
             if lookup.found:
                 node, stored = lookup.node, lookup.stored
                 tier_read_s = 0.0
@@ -327,7 +346,7 @@ class ConcurrentEngine:
                     stored.num_tokens,
                     kv_link=node.link,
                     text_link=engine.link,
-                    kv_extra_s=tier_read_s,
+                    kv_extra_s=tier_read_s + lookup.extra_delay_s,
                 ):
                     return _Resolution(
                         use_kv=True,
@@ -337,23 +356,47 @@ class ConcurrentEngine:
                         failed_over=lookup.failed_over,
                         attempted=attempted,
                         tier=lookup.tier,
+                        degraded=lookup.degraded,
+                        cause=lookup.cause if lookup.degraded else None,
+                        retries=lookup.retries,
+                        hedged=lookup.hedged,
+                        extra_delay_s=lookup.extra_delay_s,
+                        level_override=lookup.level_override,
                     )
                 num_tokens = stored.num_tokens
+            else:
+                # A text fallback of a context the cluster once held is a
+                # degraded answer (the short-context preference is not).
+                degraded = cluster.known_tokens(submission.context_id) is not None
+                cause = (lookup.cause or "evicted") if degraded else None
             if num_tokens is None:
                 num_tokens = cluster.known_tokens(submission.context_id)
-        elif submission.context_id in engine.store:
+        elif engine.store_up and submission.context_id in engine.store:
             stored = engine.store.get_context(submission.context_id)
             if not engine._prefer_text_path(stored.num_tokens):
                 return _Resolution(
                     use_kv=True, num_tokens=stored.num_tokens, stored=stored, tier=HOT
                 )
             num_tokens = stored.num_tokens
+        elif not engine.store_up and submission.context_id in engine.store:
+            # The one store is down but holds the context: degrade to text.
+            degraded = True
+            cause = "node_down"
+            if num_tokens is None:
+                num_tokens = engine.store.peek_context(submission.context_id).num_tokens
 
         if num_tokens is None:
             raise ValueError(
                 "num_tokens is required for contexts that have not been ingested"
             )
-        return _Resolution(use_kv=False, num_tokens=num_tokens, attempted=attempted)
+        return _Resolution(
+            use_kv=False,
+            num_tokens=num_tokens,
+            attempted=attempted,
+            degraded=degraded,
+            cause=cause,
+            retries=retries,
+        )
 
     def _build_process(self, submission: _Submission, resolution: _Resolution):
         engine = self.engine
@@ -361,7 +404,11 @@ class ConcurrentEngine:
         prompt_tokens = max(engine.llm.tokenizer.count_tokens(submission.question), 1)
         if resolution.use_kv:
             link = resolution.node.link if resolution.node is not None else engine.link
-            if submission.slo_s is not None:
+            if resolution.level_override is not None:
+                # A degraded read pins the cheaper level the resilience layer
+                # chose — adaptation would climb back to the one that timed out.
+                policy = FixedLevelPolicy(level_name=resolution.level_override)
+            elif submission.slo_s is not None:
                 policy = SLOAwareAdapter(
                     level_names=[level.name for level in engine.config.levels]
                 )
@@ -374,6 +421,18 @@ class ConcurrentEngine:
             # before the serving link sees the first byte; concurrent cold
             # hits on the same node serialize on that node's tier channel.
             prologue: list[LoadStage] = []
+            if resolution.extra_delay_s > 0.0:
+                # Timeouts, backoff and hedge waits occupy the serving link
+                # for their modeled duration (bytes = delay x bandwidth), so
+                # retries of co-arriving requests contend for real link time.
+                bandwidth_bps = link.trace.bandwidth_at(0.0)
+                prologue.append(
+                    LoadStage(
+                        config=TIER_CONFIG,
+                        num_bytes=resolution.extra_delay_s * bandwidth_bps / 8.0,
+                        link=link,
+                    )
+                )
             if resolution.tier == COLD and resolution.node is not None:
                 level_name = engine.config.default_level.name
                 prologue.append(
@@ -455,4 +514,8 @@ class ConcurrentEngine:
             finish_s=timeline.finish_s,
             served_tier=resolution.tier if resolution.use_kv else None,
             tier_transfer_s=timeline.tier_transfer_s,
+            degraded=resolution.degraded,
+            degrade_cause=resolution.cause,
+            retries=resolution.retries,
+            hedged=resolution.hedged,
         )

@@ -133,6 +133,10 @@ class ContextLoadingEngine:
             ),
         )
         self._reference_cache: OrderedDict[tuple[str, int], KVCache] = OrderedDict()
+        #: Liveness of the node's bitstream store.  Fault injection flips this
+        #: on a single-node crash: stored contexts become unreachable (queries
+        #: degrade to the text re-prefill path) until recovery.
+        self.store_up = True
 
     # ------------------------------------------------------------------ access
     @property
@@ -216,7 +220,7 @@ class ContextLoadingEngine:
         parts = self._parts
         prompt_tokens = max(parts.llm.tokenizer.count_tokens(question), 1)
 
-        if context_id in parts.store:
+        if self.store_up and context_id in parts.store:
             stored = parts.store.get_context(context_id)
             if not self._prefer_text_path(stored.num_tokens):
                 return self._query_with_kv(stored, question, prompt_tokens, task, slo_s)
@@ -266,6 +270,7 @@ class ContextLoadingEngine:
         slo_s: float | None,
         link: NetworkLink | None = None,
         extra_network_s: float = 0.0,
+        level_override: str | None = None,
     ) -> QueryResponse:
         parts = self._parts
         link = link or self.link
@@ -274,7 +279,11 @@ class ContextLoadingEngine:
             compute_model=parts.compute,
             initial_throughput_bps=link.trace.bandwidth_at(0.0),
         )
-        if slo_s is not None:
+        # A degraded read pins the (cheaper) level the resilience layer chose
+        # — adaptation would climb back to the level that just timed out.
+        if level_override is not None:
+            policy = FixedLevelPolicy(level_name=level_override)
+        elif slo_s is not None:
             policy = SLOAwareAdapter(level_names=[level.name for level in self.config.levels])
         else:
             policy = FixedLevelPolicy(level_name=self.config.default_level.name)

@@ -5,6 +5,7 @@ Usage::
     python -m repro.simcheck src/repro                  # lint vs the baseline
     python -m repro.simcheck src/repro --write-baseline # refresh the baseline
     python -m repro.simcheck --race-smoke               # figure12 order check
+    python -m repro.simcheck --chaos-smoke              # faulted-spec order check
 
 Exit status: 0 clean, 1 new violations (or an order-dependent smoke run),
 2 usage errors.
@@ -52,6 +53,43 @@ def _run_race_smoke(out=sys.stderr) -> int:
     return 1 if report.order_dependent else 0
 
 
+def _run_chaos_smoke(out=sys.stderr) -> int:
+    """Order-independence smoke on a faulted, resilience-enabled cluster spec.
+
+    Chaos runs must be exactly as order-independent as healthy ones: the
+    fault schedule is keyed on the simulated clock and the retry jitter on
+    the context id, so perturbed same-timestamp tie-breaks may not change the
+    multiset of outcomes.
+    """
+    import warnings
+
+    from ..faults import FaultSchedule, NodeCrash, ResiliencePolicy
+    from ..serving.api.spec import ServingSpec
+    from ..serving.api.types import ServeRequest
+    from .race import check_spec_order_independence
+
+    spec = ServingSpec(
+        topology="cluster",
+        num_nodes=3,
+        replication=2,
+        concurrency=8,
+        resilience=ResiliencePolicy(),
+    )
+    requests = [
+        ServeRequest(f"chaos-ctx-{i % 4}", "smoke?", arrival_s=0.4 * i, num_tokens=640)
+        for i in range(12)
+    ]
+    faults = FaultSchedule([NodeCrash("node-0", at_s=1.0, recover_at_s=3.5)])
+    with warnings.catch_warnings():
+        # The driver's one-shot segment-boundary warning is expected here.
+        warnings.simplefilter("ignore")
+        report = check_spec_order_independence(
+            spec, requests, seeds=(1, 2), faults=faults
+        )
+    print(f"chaos smoke (faulted cluster spec): {report.describe()}", file=out)
+    return 1 if report.order_dependent else 0
+
+
 def main(argv: list[str] | None = None, out=sys.stderr) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.simcheck",
@@ -89,6 +127,11 @@ def main(argv: list[str] | None = None, out=sys.stderr) -> int:
         help="run the event-order race detector on a figure12 concurrency spec",
     )
     parser.add_argument(
+        "--chaos-smoke",
+        action="store_true",
+        help="run the race detector on a faulted, resilience-enabled cluster spec",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="also list baseline-matched violations"
     )
     args = parser.parse_args(argv)
@@ -100,6 +143,9 @@ def main(argv: list[str] | None = None, out=sys.stderr) -> int:
 
     if args.race_smoke:
         return _run_race_smoke(out=out)
+
+    if args.chaos_smoke:
+        return _run_chaos_smoke(out=out)
 
     select = (
         {part.strip() for part in args.select.split(",") if part.strip()}

@@ -66,8 +66,17 @@ def check_clock(clock: "SimClock") -> list[SimcheckViolation]:
     return violations
 
 
-def check_tracer_tracks(tracer: "Tracer") -> list[SimcheckViolation]:
-    """Gauges never negative; serialized resource tracks never overlap."""
+def check_tracer_tracks(
+    tracer: "Tracer", segment_starts_s: "tuple[float, ...]" = ()
+) -> list[SimcheckViolation]:
+    """Gauges never negative; serialized resource tracks never overlap.
+
+    ``segment_starts_s`` lists the simulated instants where the driver closed
+    a simulation segment (topology/fault events).  Backlog does not carry
+    across a boundary, so a span from the old segment may legitimately
+    overlap one from the new — the overlap checks run within each segment,
+    never across one.
+    """
     violations: list[SimcheckViolation] = []
     for sample in tracer.samples:
         if sample.value < 0:
@@ -86,37 +95,62 @@ def check_tracer_tracks(tracer: "Tracer") -> list[SimcheckViolation]:
             continue
         if span.track.startswith(_RESOURCE_TRACK_PREFIXES):
             by_track.setdefault(span.track, []).append(span)
+    boundaries = sorted(segment_starts_s)
     for track, spans in by_track.items():
         ordered = sorted(spans, key=lambda s: (s.start_s, s.end_s))
-        busy = sum(span.dur_s for span in ordered)
-        elapsed = ordered[-1].end_s - ordered[0].start_s
-        if busy > elapsed and not _close(busy, elapsed):
-            violations.append(
-                SimcheckViolation(
-                    check="busy-time",
-                    message=(
-                        f"track {track!r} busy {busy:.9f}s exceeds elapsed "
-                        f"{elapsed:.9f}s — serialized resource overlapped itself"
-                    ),
-                )
-            )
-        previous_end = None
-        for span in ordered:
-            if previous_end is not None and span.start_s < previous_end:
-                overlap = previous_end - span.start_s
-                if overlap > max(_ABS_TOL, _REL_TOL * previous_end):
-                    violations.append(
-                        SimcheckViolation(
-                            check="busy-time",
-                            message=(
-                                f"track {track!r} spans overlap by {overlap:.3e}s "
-                                f"around t={span.start_s:.6f}"
-                            ),
-                        )
+        for segment in _split_at(ordered, boundaries):
+            busy = sum(span.dur_s for span in segment)
+            elapsed = segment[-1].end_s - segment[0].start_s
+            if busy > elapsed and not _close(busy, elapsed):
+                violations.append(
+                    SimcheckViolation(
+                        check="busy-time",
+                        message=(
+                            f"track {track!r} busy {busy:.9f}s exceeds elapsed "
+                            f"{elapsed:.9f}s — serialized resource overlapped itself"
+                        ),
                     )
-                    break
-            previous_end = max(previous_end or span.end_s, span.end_s)
+                )
+            previous_end = None
+            for span in segment:
+                if previous_end is not None and span.start_s < previous_end:
+                    overlap = previous_end - span.start_s
+                    if overlap > max(_ABS_TOL, _REL_TOL * previous_end):
+                        violations.append(
+                            SimcheckViolation(
+                                check="busy-time",
+                                message=(
+                                    f"track {track!r} spans overlap by {overlap:.3e}s "
+                                    f"around t={span.start_s:.6f}"
+                                ),
+                            )
+                        )
+                        break
+                previous_end = max(previous_end or span.end_s, span.end_s)
     return violations
+
+
+def _split_at(ordered: "list[Span]", boundaries: "list[float]") -> "list[list[Span]]":
+    """Partition start-sorted spans into simulation segments.
+
+    A span belongs to the segment its *start* falls into; with no boundaries
+    everything is one segment.
+    """
+    if not boundaries:
+        return [ordered]
+    segments: list[list["Span"]] = []
+    current: list["Span"] = []
+    upcoming = list(boundaries)
+    for span in ordered:
+        while upcoming and span.start_s >= upcoming[0]:
+            upcoming.pop(0)
+            if current:
+                segments.append(current)
+                current = []
+        current.append(span)
+    if current:
+        segments.append(current)
+    return segments
 
 
 def _span_sums(root: "Span") -> dict[str, float]:

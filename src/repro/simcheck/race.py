@@ -100,6 +100,9 @@ def run_report_digest(report: "RunReport") -> tuple:
                 response.served_by,
                 response.served_tier,
                 bool(response.failed_over),
+                bool(getattr(response, "degraded", False)),
+                getattr(response, "degrade_cause", None),
+                getattr(response, "retries", 0),
             )
             for response in report.responses
         )
@@ -111,6 +114,7 @@ def run_report_digest(report: "RunReport") -> tuple:
         report.kv_served,
         report.text_served,
         report.failovers,
+        report.degraded,
         round(report.duration_s, _ROUND),
     )
 
@@ -123,13 +127,17 @@ def check_spec_order_independence(
     num_requests: int | None = None,
     seeds: Sequence[int] = (1, 2),
     backend: str | None = None,
+    faults=None,
 ) -> RaceReport:
     """Replay a spec under perturbed tie-breaks and diff the report digests.
 
     Pass explicit ``requests`` or a workload generator (+ ``num_requests``);
     generated arrivals are materialized once so every replay sees the same
     stream.  Each replay builds a fresh backend from ``spec``, so stores and
-    seeds reset; tie-break order is the only varying input.
+    seeds reset; tie-break order is the only varying input.  ``faults``
+    optionally threads a :class:`~repro.faults.FaultSchedule` through each
+    replay's driver — chaos runs must be exactly as order-independent as
+    healthy ones (retry jitter is keyed on the context, not a shared stream).
     """
     from ..serving.api.types import ServeRequest as _ServeRequest
 
@@ -151,7 +159,7 @@ def check_spec_order_independence(
         from ..serving.api.driver import Driver
 
         built = build_backend(spec, kind=backend)
-        driver = Driver(built, list(fixed), simcheck=False)
+        driver = Driver(built, list(fixed), faults=faults, simcheck=False)
         concurrent = getattr(built, "_concurrent", None)
         if concurrent is not None:
             concurrent.clock_factory = clock_factory

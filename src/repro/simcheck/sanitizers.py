@@ -209,7 +209,12 @@ class SimcheckMonitor:
         traced = tracer is not None and getattr(tracer, "enabled", False)
         if traced and config.check_gauges:
             result.checks_run.append("gauges")
-            result.violations.extend(invariants.check_tracer_tracks(tracer))
+            result.violations.extend(
+                invariants.check_tracer_tracks(
+                    tracer,
+                    segment_starts_s=getattr(report, "segment_boundary_times_s", ()),
+                )
+            )
         if traced and config.check_spans:
             result.checks_run.append("spans")
             matched, span_violations = invariants.check_span_breakdowns(

@@ -14,6 +14,8 @@ be attached to a CI run or mailed around and still render.  Panels:
 * per-resource utilization lanes (small multiples);
 * GPU pool size — a step lane of active fleet workers (worker-pool runs only);
 * tier hit-ratio stack (hot / cold / miss fractions per window);
+* fault timeline — one lane per injected fault, injection-to-recovery bands
+  (chaos runs only), aligned with the alert timeline;
 * alert timeline — one row per fired alert with explicit fire/resolve span.
 
 Hovering any window column shows that window's numbers via native SVG
@@ -537,6 +539,80 @@ def _tier_panel(windows: Sequence[WindowStats], duration_s: float) -> str:
 _SEVERITY_ICON = {"page": "✖", "ticket": "▲"}
 _SEVERITY_VAR = {"page": "--status-crit", "ticket": "--status-warn"}
 
+#: Band color per fault kind (crash hard-red, degradations amber/orange).
+_FAULT_VAR = {
+    "crash": "--status-crit",
+    "corruption": "--status-warn",
+    "link": "--s2",
+    "gpu": "--s1",
+}
+
+
+def _fault_panel(faults: Sequence[Any], duration_s: float) -> str:
+    """Fault timeline: one lane per injected fault, injection to recovery.
+
+    ``faults`` carries :class:`~repro.faults.resilience.FaultOutcome`-shaped
+    objects (``fault_id`` / ``kind`` / ``target`` / ``injected_at_s`` /
+    ``cleared_at_s``), i.e. ``report.resilience.faults``.  Bands share the
+    alert timeline's clock so fault windows line up with the alerts they
+    caused; an uncleared fault runs to the edge of the plot.
+    """
+    if not faults:
+        return ""
+    row_h = 30
+    height = _MT + row_h * len(faults) + _MB
+    plot = _Plot(duration_s, 1.0, height)
+    step = _nice_max(plot.duration_s / 6.0)
+    t = step
+    while t <= plot.duration_s * 1.0001:
+        plot.add(
+            f'<line class="grid" x1="{plot.x(t):.1f}" y1="{_MT}"'
+            f' x2="{plot.x(t):.1f}" y2="{height - _MB}"/>'
+        )
+        plot.add(
+            f'<text x="{plot.x(t):.1f}" y="{height - 8}" text-anchor="middle">'
+            f"{t:g}s</text>"
+        )
+        t += step
+    rows: list[str] = []
+    for i, fault in enumerate(faults):
+        y = _MT + row_h * i + row_h / 2.0
+        css_var = _FAULT_VAR.get(fault.kind, "--muted")
+        x0 = plot.x(fault.injected_at_s)
+        cleared = fault.cleared_at_s
+        x1 = plot.x(cleared if cleared is not None else duration_s)
+        cleared_attr = f"{cleared:g}" if cleared is not None else ""
+        span = (
+            f"injected {fault.injected_at_s:g}s, recovered {cleared:g}s"
+            if cleared is not None
+            else f"injected {fault.injected_at_s:g}s, not recovered in-run"
+        )
+        title = f"{fault.fault_id} {fault.kind} {fault.target}: {span}"
+        plot.add(
+            f'<g data-fault-id="{escape(fault.fault_id, quote=True)}"'
+            f' data-kind="{escape(fault.kind, quote=True)}"'
+            f' data-injected-at-s="{fault.injected_at_s:g}"'
+            f' data-cleared-at-s="{cleared_attr}">'
+            f'<rect x="{x0:.1f}" y="{y - 5:.1f}" width="{max(x1 - x0, 3):.1f}"'
+            f' height="10" rx="4" style="fill:var({css_var})'
+            f'{";opacity:0.55" if cleared is None else ""}">'
+            f"<title>{escape(title)}</title></rect>"
+            f"</g>"
+        )
+        rows.append(
+            f'<p class="alert-row"><span class="sev" style="color:var(--ink)">'
+            f"{escape(fault.kind)}</span>"
+            f" &middot; {escape(fault.fault_id)} &middot; {escape(fault.target)}"
+            f" &middot; {span}</p>"
+        )
+    return _panel(
+        "Fault timeline",
+        f"{len(faults)} injected fault(s); bar spans injection to recovery "
+        "on the run clock (faded bars never recovered in-run)",
+        f'<div data-fault-count="{len(faults)}">{plot.svg()}</div>',
+        *rows,
+    )
+
 
 def _alert_panel(alerts: Sequence[Alert], duration_s: float) -> str:
     if not alerts:
@@ -668,10 +744,15 @@ def render_dashboard(
     *,
     alerts: Sequence[Alert] = (),
     objectives: Sequence[SLOObjective] = (),
+    faults: Sequence[Any] = (),
     title: str = "Run dashboard",
     subtitle: str = "",
 ) -> str:
     """Render one run's window series (+ alerts) as a self-contained page.
+
+    ``faults`` takes a chaos run's injected-fault outcomes
+    (``report.resilience.faults``); they render as a timeline of
+    crash/degrade/corruption bands aligned with the alert timeline.
 
     Example
     -------
@@ -704,6 +785,7 @@ def render_dashboard(
         _utilization_panel(windows, duration_s, tracks),
         _pool_panel(windows, duration_s),
         _tier_panel(windows, duration_s),
+        _fault_panel(faults, duration_s),
         _alert_panel(alerts, duration_s),
         _table_panel(windows),
     )
@@ -805,6 +887,7 @@ def write_dashboard(
     *,
     alerts: Sequence[Alert] = (),
     objectives: Sequence[SLOObjective] = (),
+    faults: Sequence[Any] = (),
     title: str = "Run dashboard",
     subtitle: str = "",
 ) -> Path:
@@ -820,6 +903,7 @@ def write_dashboard(
             source,
             alerts=alerts,
             objectives=objectives,
+            faults=faults,
             title=title,
             subtitle=subtitle,
         ),

@@ -25,7 +25,7 @@ TEST_TOKENS = 640
 
 #: Test directories whose runs exercise the event simulation; the simcheck
 #: sanitizers are force-enabled for every test collected under them.
-_SIMCHECK_DIRS = ("tests/serving", "tests/cluster", "tests/simcheck")
+_SIMCHECK_DIRS = ("tests/serving", "tests/cluster", "tests/simcheck", "tests/faults")
 
 
 def pytest_configure(config) -> None:

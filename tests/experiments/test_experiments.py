@@ -38,7 +38,7 @@ def by_method(result, key="method"):
 
 class TestHarnessBasics:
     def test_registry_covers_every_artifact(self):
-        assert len(ALL_EXPERIMENTS) == 20
+        assert len(ALL_EXPERIMENTS) == 21
 
     def test_experiment_result_helpers(self):
         result = ExperimentResult(name="x", description="demo")

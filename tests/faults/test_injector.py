@@ -1,0 +1,178 @@
+"""The injector's in-place component swaps against built backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    Corruption,
+    FaultInjector,
+    FaultSchedule,
+    GpuStraggler,
+    LinkDegradation,
+    NodeCrash,
+    ResilienceManager,
+    ScaledTrace,
+)
+from repro.llm import MISTRAL_7B, ComputeModel
+from repro.network import ConstantTrace, gbps
+from repro.serving.api import ServingSpec, build_backend
+
+CLUSTER_SPEC = ServingSpec(
+    topology="cluster", num_nodes=3, replication=2, chunk_tokens=256, concurrency=2
+)
+SINGLE_SPEC = ServingSpec(chunk_tokens=256)
+
+
+def cluster_injector(schedule):
+    backend = build_backend(CLUSTER_SPEC)
+    injector = FaultInjector(schedule, backend, ResilienceManager(None))
+    return backend, injector
+
+
+class TestScaledTrace:
+    def test_scales_the_base_bandwidth(self):
+        trace = ScaledTrace(ConstantTrace(gbps(2.0)), factor=0.25)
+        assert trace.bandwidth_at(0.0) == pytest.approx(gbps(0.5))
+
+    def test_rejects_out_of_range_factors(self):
+        with pytest.raises(ValueError):
+            ScaledTrace(ConstantTrace(gbps(1.0)), factor=1.0)
+
+
+class TestValidation:
+    def test_corruption_requires_a_cluster_backend(self):
+        schedule = FaultSchedule([Corruption("ctx", at_s=1.0)])
+        with pytest.raises(ValueError, match="cluster"):
+            FaultInjector(schedule, build_backend(SINGLE_SPEC), ResilienceManager(None))
+
+    def test_unknown_node_id_rejected_up_front(self):
+        schedule = FaultSchedule([NodeCrash("node-99", at_s=1.0)])
+        backend = build_backend(CLUSTER_SPEC)
+        with pytest.raises(KeyError):
+            FaultInjector(schedule, backend, ResilienceManager(None))
+
+
+class TestTiming:
+    def test_due_and_apply_respect_the_clock(self):
+        schedule = FaultSchedule([NodeCrash("node-0", at_s=2.0, recover_at_s=5.0)])
+        _, injector = cluster_injector(schedule)
+        assert not injector.due(1.9)
+        assert injector.due(2.0)
+        applied = injector.apply_due(2.0)
+        assert [event.action for event in applied] == ["node_down"]
+        assert not injector.due(4.0)
+        assert not injector.exhausted
+
+    def test_drain_applies_everything_left(self):
+        schedule = FaultSchedule([NodeCrash("node-0", at_s=2.0, recover_at_s=5.0)])
+        _, injector = cluster_injector(schedule)
+        applied = injector.drain()
+        assert [event.action for event in applied] == ["node_down", "node_up"]
+        assert injector.exhausted
+
+
+class TestComponentSwaps:
+    def test_node_crash_marks_down_then_up(self):
+        schedule = FaultSchedule([NodeCrash("node-0", at_s=1.0, recover_at_s=2.0)])
+        backend, injector = cluster_injector(schedule)
+        node = backend.frontend.cluster.node("node-0")
+        injector.apply_due(1.0)
+        assert not node.up
+        injector.apply_due(2.0)
+        assert node.up
+
+    def test_link_degrade_swaps_trace_and_restore_swaps_back(self):
+        schedule = FaultSchedule(
+            [LinkDegradation(at_s=1.0, until_s=2.0, factor=0.5, node_id="node-1")]
+        )
+        backend, injector = cluster_injector(schedule)
+        link = backend.frontend.cluster.node("node-1").link
+        base = link.trace
+        injector.apply_due(1.0)
+        assert isinstance(link.trace, ScaledTrace)
+        assert link.trace.base is base
+        assert link.trace.bandwidth_at(0.0) == pytest.approx(base.bandwidth_at(0.0) * 0.5)
+        injector.apply_due(2.0)
+        assert link.trace is base
+
+    def test_clusterwide_link_fault_degrades_every_node(self):
+        schedule = FaultSchedule([LinkDegradation(at_s=1.0, until_s=2.0, factor=0.5)])
+        backend, injector = cluster_injector(schedule)
+        injector.apply_due(1.0)
+        cluster = backend.frontend.cluster
+        assert all(
+            isinstance(node.link.trace, ScaledTrace) for node in cluster.nodes.values()
+        )
+
+    def test_gpu_straggler_swaps_compute_and_restores(self):
+        schedule = FaultSchedule([GpuStraggler(at_s=1.0, until_s=2.0, slowdown=4.0)])
+        backend = build_backend(SINGLE_SPEC)
+        injector = FaultInjector(schedule, backend, ResilienceManager(None))
+        base = backend.engine._parts.compute
+        injector.apply_due(1.0)
+        proxy = backend.engine._parts.compute
+        assert proxy is not base
+        assert proxy.decode_delay(64) == pytest.approx(base.decode_delay(64) * 4.0)
+        # The proxy must mirror the full ComputeModel signature (gpu_share).
+        assert proxy.prefill_delay(64, gpu_share=0.5) == pytest.approx(
+            base.prefill_delay(64, gpu_share=0.5) * 4.0
+        )
+        injector.apply_due(2.0)
+        assert backend.engine._parts.compute is base
+
+    def test_straggler_proxy_delegates_everything_else(self):
+        from repro.faults.injector import _StragglerCompute
+
+        base = ComputeModel(MISTRAL_7B)
+        proxy = _StragglerCompute(base, slowdown=2.0)
+        assert proxy.model is base.model
+        assert proxy.gpu is base.gpu
+
+    def test_corruption_poisons_a_replica(self):
+        schedule = FaultSchedule([Corruption("ctx-a", at_s=1.0)])
+        backend, injector = cluster_injector(schedule)
+        backend.ingest("ctx-a", 640)
+        injector.apply_due(1.0)
+        cluster = backend.frontend.cluster
+        replicas = cluster.replicas_for("ctx-a")
+        assert (replicas[0], "ctx-a") in cluster.corrupted_replicas
+
+    def test_corrupting_an_unstored_context_is_a_noop(self):
+        schedule = FaultSchedule([Corruption("ctx-missing", at_s=1.0)])
+        backend, injector = cluster_injector(schedule)
+        injector.apply_due(1.0)
+        assert not backend.frontend.cluster.corrupted_replicas
+
+
+class TestOutcomes:
+    def test_recovery_clears_the_outcome(self):
+        schedule = FaultSchedule([NodeCrash("node-0", at_s=1.0, recover_at_s=4.0)])
+        _, injector = cluster_injector(schedule)
+        injector.drain()
+        (outcome,) = injector.finalize()
+        assert outcome.fault_id == "fault-0"
+        assert outcome.mttr_s == pytest.approx(3.0)
+
+    def test_flap_reopens_the_fault_until_its_last_restore(self):
+        schedule = FaultSchedule(
+            [LinkDegradation(at_s=0.0, until_s=3.0, factor=0.5, node_id="node-0", flaps=1)]
+        )
+        _, injector = cluster_injector(schedule)
+        injector.apply_due(2.0)  # degrade, restore, degrade again
+        assert injector.outcomes["fault-0"].cleared_at_s is None
+        injector.drain()
+        (outcome,) = injector.finalize()
+        assert outcome.cleared_at_s == pytest.approx(3.0)
+
+    def test_finalize_orders_outcomes_by_fault_index(self):
+        schedule = FaultSchedule(
+            [
+                NodeCrash("node-0", at_s=5.0, recover_at_s=6.0),
+                GpuStraggler(at_s=1.0, until_s=2.0, slowdown=2.0),
+            ]
+        )
+        _, injector = cluster_injector(schedule)
+        injector.drain()
+        outcomes = injector.finalize()
+        assert [outcome.fault_id for outcome in outcomes] == ["fault-0", "fault-1"]

@@ -169,9 +169,17 @@ class TestDriver:
         assert all(r.failed_over for r in responses)
         assert all(primary in r.attempted_node_ids for r in responses)
 
-    def test_topology_events_require_cluster_backend(self):
-        with pytest.raises(ValueError, match="cluster backend"):
-            Driver(build_backend(SPEC), None, node_failures={0: "node-0"})
+    def test_topology_events_require_mark_down(self):
+        class NoTopology:
+            spec = SPEC
+
+        with pytest.raises(ValueError, match="mark_down"):
+            Driver(NoTopology(), None, node_failures={0: "node-0"})
+
+    def test_topology_events_accepted_on_single_node_backends(self):
+        # Single-node backends take the one store dark, so node events no
+        # longer require a cluster.
+        Driver(build_backend(SPEC), None, node_failures={0: "node-0"})
 
     def test_driver_requires_a_workload(self):
         with pytest.raises(ValueError, match="workload"):

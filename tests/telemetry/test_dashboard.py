@@ -108,6 +108,30 @@ class TestContent:
         assert "No alerts" in html
 
 
+class TestFaultLane:
+    def test_fault_bands_carry_machine_readable_attributes(self, recorder):
+        from repro.faults import FaultOutcome
+
+        faults = [
+            FaultOutcome("fault-0", "crash", "node-0", 2.0, cleared_at_s=4.0),
+            FaultOutcome("fault-1", "corruption", "ctx@replica", 3.0),
+        ]
+        html = render_dashboard(recorder, faults=faults, title="Chaos run")
+        assert "Fault timeline" in html
+        assert 'data-fault-count="2"' in html
+        assert 'data-fault-id="fault-0"' in html
+        assert 'data-kind="crash"' in html
+        assert 'data-injected-at-s="2"' in html
+        assert 'data-cleared-at-s="4"' in html
+        # The censored fault has no clear instant; its band runs to the edge.
+        assert 'data-fault-id="fault-1"' in html
+        assert "not recovered in-run" in html
+
+    def test_no_faults_no_lane(self, html):
+        assert "data-fault-count" not in html
+        assert "Fault timeline" not in html
+
+
 class TestDiff:
     def test_diff_labels_and_totals(self, recorder):
         other = TimeSeriesRecorder(window_s=1.0)
